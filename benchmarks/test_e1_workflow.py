@@ -1,0 +1,51 @@
+"""E1 — Figure 1: end-to-end enrolment, broken down per workflow step.
+
+The paper's Figure 1 is an architecture/workflow diagram; this experiment
+executes it and reports where the time goes.  Expected shape: VNF
+attestation + provisioning (steps 3-5) is the heaviest phase (two network
+round trips to IAS plus ECDH + certificate issuance), host attestation
+(steps 1-2) scales with the IML, and the first controller session (step 6)
+costs one mutual-auth TLS handshake.
+"""
+
+import pytest
+
+from repro.bench.harness import Table
+from repro.core import Deployment
+
+
+@pytest.mark.experiment("E1")
+def test_e1_workflow_breakdown(benchmark):
+    def run_workflow():
+        deployment = Deployment(seed=b"bench-e1", vnf_count=2)
+        return deployment, deployment.run_workflow()
+
+    deployment, trace = benchmark.pedantic(run_workflow, rounds=3,
+                                           iterations=1)
+
+    table = Table(
+        "E1: Figure 1 workflow, per-step simulated time (2 VNFs)",
+        ["step", "sim_ms_total", "share_%"],
+    )
+    totals = trace.step_totals()
+    grand_total = sum(totals.values())
+    for step, seconds in totals.items():
+        table.add_row(step, seconds * 1000, 100 * seconds / grand_total)
+    table.add_row("TOTAL", grand_total * 1000, 100.0)
+    table.show()
+
+    print(f"\nclock charges: "
+          f"{ {k: round(v * 1000, 3) for k, v in trace.clock_charges.items()} }")
+
+    # Shape assertions.
+    assert set(trace.per_vnf) == {"vnf-1", "vnf-2"}
+    steps = list(totals)
+    assert len(steps) == 3
+    # Steps 3-5 dominate steps 6 (provisioning involves IAS + crypto; the
+    # controller session is one handshake).
+    provisioning = next(v for k, v in totals.items() if "steps 3-5" in k)
+    session = next(v for k, v in totals.items() if "step 6" in k)
+    assert provisioning > session
+    # Audit trail complete for both VNFs.
+    counts = deployment.vm.audit.counts()
+    assert counts["credential-provisioned"] == 2

@@ -1,0 +1,61 @@
+"""E2 — use case 1: integrity attestation latency vs. IML size, and the
+pristine/tampered verdict matrix.
+
+Expected shape: attestation cost grows linearly with the number of IML
+entries (hashing + appraisal are per-entry); a tampered host is rejected at
+every size, a pristine host accepted at every size.
+"""
+
+import pytest
+
+from repro.bench.harness import Table, measure
+from repro.bench.workloads import deployment_with_iml_size
+
+IML_SIZES = [16, 64, 256, 1024]
+
+
+def attest_once(deployment):
+    return deployment.vm.attest_host(deployment.agent_client,
+                                     deployment.host.name)
+
+
+@pytest.mark.experiment("E2")
+def test_e2_attestation_scaling(benchmark):
+    table = Table(
+        "E2: host attestation vs. IML size",
+        ["iml_entries", "sim_ms", "wall_ms", "verdict"],
+    )
+    sims = []
+    for size in IML_SIZES:
+        deployment = deployment_with_iml_size(size,
+                                              seed=f"e2-{size}".encode())
+        entries = len(deployment.host.ima.iml)
+        measurement = measure(deployment.clock,
+                              lambda d=deployment: attest_once(d))
+        assert measurement.result.trustworthy
+        sims.append(measurement.simulated_seconds)
+        table.add_row(entries, measurement.simulated_seconds * 1000,
+                      measurement.wall_seconds * 1000, "TRUSTED")
+
+    # Tamper matrix at the largest size.
+    tampered = deployment_with_iml_size(IML_SIZES[-1], seed=b"e2-tampered")
+    tampered.host.tamper_file("/usr/bin/dockerd", b"rootkit")
+    verdict = attest_once(tampered)
+    assert not verdict.trustworthy
+    table.add_row(len(tampered.host.ima.iml), float("nan"), float("nan"),
+                  "REJECTED (tampered)")
+    table.show()
+
+    # Shape: simulated cost strictly increases with IML size; the increments
+    # grow linearly in the entry count (per-entry appraisal work) on top of
+    # the fixed IAS round trip.
+    assert sims == sorted(sims)
+    assert sims[-1] > sims[0] * 1.5
+    per_entry = (sims[-1] - sims[0]) / (IML_SIZES[-1] - IML_SIZES[0])
+    mid_slope = (sims[2] - sims[0]) / (IML_SIZES[2] - IML_SIZES[0])
+    assert per_entry == pytest.approx(mid_slope, rel=0.5)
+
+    # Benchmark the representative mid-size attestation (wall time).
+    deployment = deployment_with_iml_size(256, seed=b"e2-bench")
+    benchmark.pedantic(lambda: attest_once(deployment), rounds=5,
+                       iterations=1)

@@ -1,0 +1,62 @@
+"""E3 — use case 2: enrolment at fleet scale, and the paper's keystore
+argument.
+
+Expected shape: per-VNF enrolment cost is flat in fleet size in both
+validation models (attestation dominates), but the *controller keystore*
+grows linearly in stock-Floodlight mode and stays empty in the paper's
+trusted-CA mode — one keystore update per minted credential is exactly the
+operational cost the paper's design removes.
+"""
+
+import pytest
+
+from repro.bench.harness import Table
+from repro.bench.workloads import fleet_deployment
+
+FLEET_SIZES = [1, 4, 8]
+
+
+def enroll_fleet(deployment):
+    for vnf_name in deployment.vnf_names:
+        deployment.enroll(vnf_name)
+
+
+@pytest.mark.experiment("E3")
+def test_e3_enrollment_fleet(benchmark):
+    table = Table(
+        "E3: fleet enrolment — trusted-CA vs. per-client keystore",
+        ["validation", "vnfs", "sim_ms_total", "sim_ms_per_vnf",
+         "keystore_entries", "keystore_updates"],
+    )
+    per_vnf_costs = {}
+    for validation in ("ca", "keystore"):
+        for fleet in FLEET_SIZES:
+            deployment = fleet_deployment(
+                fleet, seed=f"e3-{validation}-{fleet}".encode(),
+                client_validation=validation,
+            )
+            start = deployment.clock.now()
+            enroll_fleet(deployment)
+            sim_total = deployment.clock.now() - start
+            entries = len(deployment.keystore)
+            table.add_row(validation, fleet, sim_total * 1000,
+                          sim_total * 1000 / fleet, entries, entries)
+            per_vnf_costs[(validation, fleet)] = sim_total / fleet
+
+            if validation == "ca":
+                assert entries == 0  # the paper's design point
+            else:
+                assert entries == fleet  # one update per credential
+    table.show()
+
+    # Per-VNF cost roughly flat in fleet size (within 2x across the sweep).
+    for validation in ("ca", "keystore"):
+        costs = [per_vnf_costs[(validation, f)] for f in FLEET_SIZES]
+        assert max(costs) < 2 * min(costs)
+
+    # Benchmark a single enrolment end to end (wall time).
+    def one_enrollment():
+        deployment = fleet_deployment(1, seed=b"e3-bench")
+        deployment.enroll("vnf-1")
+
+    benchmark.pedantic(one_enrollment, rounds=3, iterations=1)

@@ -1,0 +1,68 @@
+"""E5 — the northbound API's three security modes (paper §3).
+
+Expected shape: connection setup cost orders HTTP < HTTPS < trusted HTTPS
+(zero, one-sided, and mutual-auth handshakes respectively); steady-state
+per-request cost orders HTTP below both TLS modes, with HTTPS and trusted
+HTTPS nearly identical (client auth costs only at the handshake).
+"""
+
+import pytest
+
+from repro.bench.harness import Table, measure
+from repro.core import Deployment
+from repro.crypto.keys import generate_keypair
+
+STEADY_REQUESTS = 50
+
+
+@pytest.mark.experiment("E5")
+def test_e5_rest_security_modes(benchmark):
+    deployment = Deployment(seed=b"bench-e5", vnf_count=1)
+    deployment.enroll("vnf-1")
+
+    key = generate_keypair(deployment.rng)
+    cert = deployment.vm.ca.issue(
+        subject=deployment.vm.issued_certificate("vnf-1").subject,
+        public_key_bytes=key.public.to_bytes(),
+        now=deployment.clock.now_seconds(),
+    )
+
+    def client_for(mode):
+        if mode == "trusted-https":
+            return deployment.baseline_client(
+                mode=mode, client_chain=[cert], client_key=key
+            )
+        return deployment.baseline_client(mode=mode)
+
+    table = Table(
+        "E5: northbound request cost by security mode",
+        ["mode", "setup_ms", "steady_us_per_req", "requests"],
+    )
+    setup_costs = {}
+    steady_costs = {}
+    for mode in ("http", "https", "trusted-https"):
+        client = client_for(mode)
+        setup = measure(deployment.clock, client.summary)
+        setup_costs[mode] = setup.simulated_seconds
+        total = 0.0
+        for _ in range(STEADY_REQUESTS):
+            total += measure(deployment.clock,
+                             client.summary).simulated_seconds
+        steady_costs[mode] = total / STEADY_REQUESTS
+        table.add_row(mode, setup.simulated_seconds * 1000,
+                      steady_costs[mode] * 1e6, STEADY_REQUESTS)
+        client.close()
+    table.show()
+
+    # Connection setup: HTTP < HTTPS < trusted HTTPS.
+    assert setup_costs["http"] < setup_costs["https"]
+    assert setup_costs["https"] < setup_costs["trusted-https"]
+    # Steady state: HTTP cheapest; the two TLS modes within 25% of each
+    # other (client auth only affects the handshake).
+    assert steady_costs["http"] < steady_costs["https"]
+    assert steady_costs["http"] < steady_costs["trusted-https"]
+    ratio = steady_costs["trusted-https"] / steady_costs["https"]
+    assert 0.75 < ratio < 1.25
+
+    client = client_for("https")
+    benchmark.pedantic(client.summary, rounds=10, iterations=1)

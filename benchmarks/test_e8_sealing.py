@@ -1,0 +1,76 @@
+"""E8 — sealed credential persistence across enclave restarts.
+
+Expected shape: seal/unseal cost and blob size grow linearly with payload
+size with a small constant envelope (DER framing + GCM tag + key id);
+cross-platform unsealing fails at every size; and restoring a sealed
+credential bundle is far cheaper than a full re-enrolment.
+"""
+
+import pytest
+
+from repro.bench.harness import Table, measure
+from repro.core import Deployment
+from repro.core.credential_enclave import CredentialEnclave
+from repro.crypto.rng import HmacDrbg
+from repro.errors import SealingError
+from repro.sgx.enclave import EnclaveIdentity
+from repro.sgx.sealing import SealedBlob, seal, unseal
+
+PAYLOAD_SIZES = [256, 1024, 4096, 16384, 65536]
+
+
+@pytest.mark.experiment("E8")
+def test_e8_sealing_scaling(benchmark):
+    rng = HmacDrbg(b"bench-e8")
+    fuse = rng.random_bytes(32)
+    identity = EnclaveIdentity(b"\x01" * 32, b"\x02" * 32, 200, 1)
+
+    table = Table(
+        "E8: seal/unseal cost and blob overhead vs. payload size",
+        ["payload_B", "blob_B", "overhead_B"],
+    )
+    overheads = []
+    for size in PAYLOAD_SIZES:
+        payload = rng.random_bytes(size)
+        blob = seal(fuse, identity, payload, rng=rng)
+        encoded = blob.to_bytes()
+        assert unseal(fuse, identity, blob) == payload
+        with pytest.raises(SealingError):
+            unseal(rng.random_bytes(32), identity, blob)
+        overhead = len(encoded) - size
+        overheads.append(overhead)
+        table.add_row(size, len(encoded), overhead)
+    table.show()
+    # Constant envelope: overhead identical across payload sizes.
+    assert len(set(overheads)) == 1
+
+    # --- restart vs. re-enrolment ---------------------------------------
+    deployment = Deployment(seed=b"e8-restart", vnf_count=1)
+    enroll_cost = measure(deployment.clock,
+                          lambda: deployment.enroll("vnf-1"))
+    sealed = deployment.credential_enclaves["vnf-1"].seal_credentials()
+    deployment.host.platform.destroy_enclave(
+        deployment.credential_enclaves["vnf-1"].enclave
+    )
+    fresh = CredentialEnclave(deployment.host, deployment.vendor_key,
+                              deployment.network, "vnf-1")
+    restore_cost = measure(deployment.clock,
+                           lambda: fresh.restore_credentials(sealed))
+    comparison = Table(
+        "E8: full enrolment vs. sealed restore (simulated time)",
+        ["path", "sim_ms"],
+    )
+    comparison.add_row("full enrolment (steps 1-6)",
+                       enroll_cost.simulated_seconds * 1000)
+    comparison.add_row("sealed restore after restart",
+                       restore_cost.simulated_seconds * 1000)
+    comparison.show()
+    assert restore_cost.simulated_seconds < enroll_cost.simulated_seconds / 5
+    assert fresh.client.summary()["controller"] == "floodlight"
+
+    payload = rng.random_bytes(4096)
+    benchmark.pedantic(
+        lambda: unseal(fuse, identity, seal(fuse, identity, payload,
+                                            rng=rng)),
+        rounds=10, iterations=1,
+    )

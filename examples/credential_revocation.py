@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Credential lifecycle: enrolment, revocation, and platform distrust.
+
+Demonstrates the Verification Manager's "provision *or revoke*
+authentication keys ... as long as the container host is trustworthy"
+(paper §2): a VNF is enrolled and serving, its credential is revoked (CRL
+push + TLS session eviction), and finally the whole host is distrusted by
+the re-attestation monitor after on-host tampering, revoking every
+credential it held and revoking the platform's EPID key at IAS.
+
+Run:  python examples/credential_revocation.py
+"""
+
+from repro.core import Deployment
+from repro.core.revocation import ReattestationMonitor
+from repro.errors import ReproError
+from repro.ias.service import QuoteStatus
+
+
+def main() -> None:
+    deployment = Deployment(seed=b"revocation-demo", vnf_count=2)
+    deployment.run_workflow()
+    print("both VNFs enrolled")
+
+    client_1 = deployment.enclave_client("vnf-1")
+    client_2 = deployment.enclave_client("vnf-2")
+    assert client_1.summary()["controller"] == "floodlight"
+    assert client_2.summary()["controller"] == "floodlight"
+    print("both VNFs can reach the controller")
+
+    # ------------------------------------------------- revoke one credential
+    deployment.vm.revoke_vnf("vnf-1", reason="key-compromise")
+    client_1.close()  # drop the live session; resumption is also evicted
+    try:
+        client_1.summary()
+        raise AssertionError("revoked VNF should be rejected")
+    except ReproError as exc:
+        print(f"vnf-1 revoked and rejected: {type(exc).__name__}")
+    assert client_2.summary()["controller"] == "floodlight"
+    print("vnf-2 still serving")
+
+    # ------------------------------------------- distrust the whole platform
+    monitor = ReattestationMonitor(deployment.vm, ias_service=deployment.ias)
+    monitor.watch(deployment.host.name, deployment.agent_client)
+
+    sweep_1 = monitor.sweep()
+    print(f"re-attestation sweep while pristine: "
+          f"trustworthy={sweep_1[0].trustworthy}")
+
+    deployment.host.tamper_file("/usr/sbin/sshd", b"backdoored-sshd")
+    sweep_2 = monitor.sweep()
+    outcome = sweep_2[0]
+    print(f"after tamper: trustworthy={outcome.trustworthy}, "
+          f"revoked VNFs={outcome.revoked_vnfs}")
+
+    client_2.close()
+    try:
+        client_2.summary()
+        raise AssertionError("vnf-2 should be revoked with its host")
+    except ReproError as exc:
+        print(f"vnf-2 rejected after host distrust: {type(exc).__name__}")
+
+    # The platform's EPID key is now revoked at IAS: future attestations
+    # of this host fail before appraisal even starts.
+    evidence = deployment.agent_client.attest_host(
+        b"\x00" * 16, deployment.vm.policy.basename
+    )
+    avr = deployment.ias_client.verify_quote(evidence.quote.to_bytes())
+    print(f"IAS verdict for the distrusted platform: {avr.quote_status}")
+    assert avr.quote_status == QuoteStatus.KEY_REVOKED
+
+    print(f"\naudit log: {deployment.vm.audit.counts()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Figure 1, end to end, in ~20 lines of API.
+
+Builds a complete deployment (controller + IAS + Verification Manager +
+SGX container host with two containerized VNFs), runs the six-step
+enrolment workflow for both VNFs, and then uses the enclave-protected
+credentials to drive the controller.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Deployment
+
+
+def main() -> None:
+    deployment = Deployment(seed=b"quickstart", vnf_count=2)
+    trace = deployment.run_workflow()
+
+    print("Figure 1 workflow, per-step timing:")
+    for vnf_name, timings in trace.per_vnf.items():
+        print(f"  {vnf_name}:")
+        for timing in timings:
+            print(
+                f"    {timing.step:45s}"
+                f" sim={timing.simulated_seconds * 1000:8.3f} ms"
+                f" wall={timing.wall_seconds * 1000:8.2f} ms"
+            )
+    print(f"  total simulated: {trace.simulated_seconds * 1000:.3f} ms")
+
+    # The VNF now authenticates to the controller through its enclave; the
+    # private key and TLS session keys never leave the enclave boundary.
+    client = deployment.enclave_client("vnf-1")
+    client.push_flow(
+        switch="00:00:01",
+        name="quickstart-allow",
+        match={"eth_src": "h1", "eth_dst": "h2"},
+        actions="output:3",
+    )
+    summary = client.summary()
+    print(f"\ncontroller summary after enrolment: {summary}")
+
+    audit = deployment.vm.audit.counts()
+    print(f"verification-manager audit log: {audit}")
+
+
+if __name__ == "__main__":
+    main()

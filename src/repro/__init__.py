@@ -1,0 +1,22 @@
+"""Reproduction of *Safeguarding VNF Credentials with Intel SGX* (SIGCOMM'17).
+
+The package implements, from scratch and in pure Python, every subsystem the
+paper's prototype depends on (an SGX enclave model, the Intel Attestation
+Service, Linux IMA, a Docker-like container substrate, a Floodlight-like SDN
+controller, a TLS-1.2-style protocol, and the crypto/PKI primitives beneath
+them) plus the paper's contribution itself: a Verification Manager that
+attests container hosts and VNF enclaves, provisions authentication
+credentials into enclaves, and lets VNFs speak TLS to the controller without
+their keys ever leaving the enclave boundary.
+
+Public entry points:
+
+- :class:`repro.core.verification_manager.VerificationManager`
+- :class:`repro.core.workflow.Deployment` — the executable Figure 1.
+- :mod:`repro.sgx`, :mod:`repro.ias`, :mod:`repro.ima`, :mod:`repro.tpm`,
+  :mod:`repro.containers`, :mod:`repro.sdn` — the substrates.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,17 @@
+"""Shared benchmark infrastructure: result tables and workload generators."""
+
+from repro.bench.harness import Measurement, Table, measure
+from repro.bench.workloads import (
+    deployment_with_iml_size,
+    fleet_deployment,
+    synthetic_files,
+)
+
+__all__ = [
+    "Measurement",
+    "Table",
+    "measure",
+    "deployment_with_iml_size",
+    "fleet_deployment",
+    "synthetic_files",
+]

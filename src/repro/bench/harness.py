@@ -1,0 +1,86 @@
+"""Benchmark reporting helpers.
+
+Every experiment prints its rows through :class:`Table`, so benchmark
+output reads like the tables a paper would carry.  :func:`measure` wraps a
+callable and reports both *simulated* time (virtual clock — machine
+independent, what the experiment shapes are judged on) and wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.net.clock import VirtualClock
+
+
+@dataclass
+class Measurement:
+    """One measured operation."""
+
+    result: Any
+    simulated_seconds: float
+    wall_seconds: float
+
+
+def measure(clock: Optional[VirtualClock], fn: Callable[[], Any]) -> Measurement:
+    """Run ``fn`` and capture simulated + wall time around it."""
+    sim_start = clock.now() if clock is not None else 0.0
+    wall_start = time.perf_counter()
+    result = fn()
+    return Measurement(
+        result=result,
+        simulated_seconds=(clock.now() - sim_start) if clock is not None else 0.0,
+        wall_seconds=time.perf_counter() - wall_start,
+    )
+
+
+class Table:
+    """A fixed-column text table printed to stdout (and kept for asserts)."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[Tuple] = []
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def render(self) -> str:
+        """The formatted table."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in cells))
+            if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(
+            name.ljust(widths[i]) for i, name in enumerate(self.columns)
+        ))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(row)
+            ))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the table (pytest -s makes it visible)."""
+        print("\n" + self.render())
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, by name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]

@@ -1,0 +1,62 @@
+"""Workload generators for the experiments in EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.workflow import Deployment
+from repro.sgx.ecall import CostModel
+
+
+def synthetic_files(count: int, prefix: str = "/usr/lib/pkg",
+                    size: int = 64) -> Dict[str, bytes]:
+    """``count`` deterministic measured files (distinct contents)."""
+    return {
+        f"{prefix}-{index:05d}.so": (f"content-{index:05d}-".encode()
+                                     * (size // 16 + 1))[:size]
+        for index in range(count)
+    }
+
+
+def deployment_with_iml_size(iml_entries: int, seed: bytes = b"iml-bench",
+                             with_tpm: bool = False,
+                             vnf_count: int = 1) -> Deployment:
+    """A deployment whose host has roughly ``iml_entries`` IML entries.
+
+    Extra measured files are installed (and whitelisted) before boot-time
+    measurement, so the attestation evidence scales with ``iml_entries``.
+    """
+    from repro.containers.host import DEFAULT_OS_FILES
+
+    extra = max(0, iml_entries - len(DEFAULT_OS_FILES) - 2)
+    os_files = dict(DEFAULT_OS_FILES)
+    os_files.update(synthetic_files(extra))
+    deployment = _deployment_with_os_files(os_files, seed, with_tpm,
+                                           vnf_count)
+    return deployment
+
+
+def _deployment_with_os_files(os_files: Dict[str, bytes], seed: bytes,
+                              with_tpm: bool, vnf_count: int) -> Deployment:
+    # Deployment builds its own host; patch the OS file set by building the
+    # deployment with a host constructed around the enlarged file list.
+    import repro.containers.host as host_module
+
+    original = host_module.DEFAULT_OS_FILES
+    host_module.DEFAULT_OS_FILES = os_files
+    try:
+        return Deployment(seed=seed, vnf_count=vnf_count, with_tpm=with_tpm)
+    finally:
+        host_module.DEFAULT_OS_FILES = original
+
+
+def fleet_deployment(vnf_count: int, seed: bytes = b"fleet-bench",
+                     client_validation: str = "ca",
+                     cost_model: Optional[CostModel] = None) -> Deployment:
+    """A deployment sized for enrolment-throughput experiments."""
+    return Deployment(
+        seed=seed,
+        vnf_count=vnf_count,
+        client_validation=client_validation,
+        cost_model=cost_model,
+    )

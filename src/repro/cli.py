@@ -1,0 +1,181 @@
+"""Command-line interface: drive a deployment from the terminal.
+
+Examples::
+
+    python -m repro demo --vnfs 2 --tpm
+    python -m repro attest --tamper /usr/bin/dockerd
+    python -m repro enroll --vnfs 3 --csr
+    python -m repro experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import Deployment
+from repro.errors import ReproError
+
+EXPERIMENTS = [
+    ("E1", "Figure 1 workflow step breakdown", "benchmarks/test_e1_workflow.py"),
+    ("E2", "attestation latency vs. IML size", "benchmarks/test_e2_attestation.py"),
+    ("E3", "fleet enrolment: keystore vs. trusted CA", "benchmarks/test_e3_enrollment.py"),
+    ("E4", "TLS inside vs. outside the enclave", "benchmarks/test_e4_enclave_tls.py"),
+    ("E5", "northbound security modes", "benchmarks/test_e5_rest_modes.py"),
+    ("E6", "IAS verification vs. SigRL size", "benchmarks/test_e6_ias_revocation.py"),
+    ("E7", "TPM-rooted vs. plain-IMA tamper detection", "benchmarks/test_e7_tpm_root_of_trust.py"),
+    ("E8", "sealed credential persistence", "benchmarks/test_e8_sealing.py"),
+    ("E9", "provisioning variants: VM keys vs. in-enclave CSR",
+     "benchmarks/test_e9_provisioning_variants.py"),
+    ("E10", "full vs. resumed TLS handshakes",
+     "benchmarks/test_e10_session_resumption.py"),
+]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Safeguarding VNF Credentials with "
+                     "Intel SGX' (SIGCOMM'17)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the full Figure 1 workflow")
+    _common_flags(demo)
+
+    attest = sub.add_parser("attest",
+                            help="attest the container host and print the "
+                                 "appraisal verdict")
+    _common_flags(attest)
+    attest.add_argument("--tamper", metavar="PATH",
+                        help="tamper with a host file before attestation")
+    attest.add_argument("--hide", action="store_true",
+                        help="also sanitize the measurement log "
+                             "(the paper's §4 adversary)")
+
+    enroll = sub.add_parser("enroll",
+                            help="enrol every VNF and exercise the "
+                                 "controller")
+    _common_flags(enroll)
+    enroll.add_argument("--csr", action="store_true",
+                        help="use the CSR variant (keys generated inside "
+                             "the enclave)")
+
+    sub.add_parser("experiments",
+                   help="list the experiment index (see EXPERIMENTS.md)")
+    return parser
+
+
+def _common_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--vnfs", type=int, default=2,
+                        help="number of VNFs (default 2, as in Figure 1)")
+    parser.add_argument("--hosts", type=int, default=1,
+                        help="number of container hosts (default 1)")
+    parser.add_argument("--tpm", action="store_true",
+                        help="enable the TPM-rooted IMA configuration")
+    parser.add_argument("--seed", default="cli-deployment",
+                        help="determinism seed")
+
+
+def _build_deployment(args) -> Deployment:
+    return Deployment(
+        seed=args.seed.encode("utf-8"),
+        vnf_count=args.vnfs,
+        host_count=args.hosts,
+        with_tpm=args.tpm,
+    )
+
+
+def _cmd_demo(args, out) -> int:
+    deployment = _build_deployment(args)
+    trace = deployment.run_workflow()
+    out.write("Figure 1 workflow complete.\n")
+    for vnf_name, timings in trace.per_vnf.items():
+        out.write(f"  {vnf_name} (on {deployment.vnf_host[vnf_name].name}):\n")
+        for timing in timings:
+            out.write(
+                f"    {timing.step:45s}"
+                f" sim={timing.simulated_seconds * 1000:8.3f} ms\n"
+            )
+    out.write(f"  total simulated: {trace.simulated_seconds * 1000:.3f} ms\n")
+    out.write(f"  audit: {deployment.vm.audit.counts()}\n")
+    return 0
+
+
+def _cmd_attest(args, out) -> int:
+    deployment = _build_deployment(args)
+    if args.tamper:
+        deployment.host.tamper_file(args.tamper, b"tampered-by-cli")
+        out.write(f"tampered with {args.tamper}\n")
+        if args.hide:
+            deployment.host.hide_measurement(args.tamper)
+            out.write("measurement log sanitized (root adversary)\n")
+    result = deployment.vm.attest_host(deployment.agent_client,
+                                       deployment.host.name)
+    verdict = "TRUSTED" if result.trustworthy else "REJECTED"
+    out.write(f"{deployment.host.name}: {verdict} "
+              f"({result.entries_checked} IML entries")
+    if result.tpm_verified:
+        out.write(", TPM-verified")
+    out.write(")\n")
+    for failure in result.failures:
+        out.write(f"  failure: {failure}\n")
+    return 0 if result.trustworthy else 1
+
+
+def _cmd_enroll(args, out) -> int:
+    deployment = _build_deployment(args)
+    for vnf_name in deployment.vnf_names:
+        host = deployment.vnf_host[vnf_name]
+        agent = deployment.agent_clients[host.name]
+        if not deployment.vm.host_trusted(host.name):
+            deployment.vm.attest_host(agent, host.name).raise_if_failed(
+                host.name
+            )
+        address = str(deployment.controller_address())
+        if args.csr:
+            certificate = deployment.vm.enroll_vnf_csr(
+                agent, host.name, vnf_name, address
+            )
+        else:
+            certificate = deployment.vm.enroll_vnf(
+                agent, host.name, vnf_name, address
+            )
+        summary = deployment.enclave_client(vnf_name).summary()
+        out.write(
+            f"{vnf_name}: serial {certificate.serial} on {host.name}; "
+            f"controller says {summary['controller']} "
+            f"v{summary['version']}\n"
+        )
+    variant = "CSR (in-enclave keys)" if args.csr else "VM-generated keys"
+    out.write(f"enrolled {len(deployment.vnf_names)} VNF(s) via {variant}\n")
+    return 0
+
+
+def _cmd_experiments(args, out) -> int:
+    for exp_id, title, path in EXPERIMENTS:
+        out.write(f"{exp_id}  {title:45s} {path}\n")
+    out.write("run: pytest benchmarks/ --benchmark-only -s\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "attest": _cmd_attest,
+        "enroll": _cmd_enroll,
+        "experiments": _cmd_experiments,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except ReproError as exc:
+        out.write(f"error: {type(exc).__name__}: {exc}\n")
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""A Docker-like container substrate.
+
+The paper deploys VNFs "inside containers" (Docker 1.12 on Ubuntu 16.04).
+This subpackage models the parts of that stack the attestation story
+touches: content-addressed layered images (:mod:`repro.containers.image`),
+a registry (:mod:`repro.containers.registry`), a runtime that materializes
+container filesystems onto the host where IMA measures them
+(:mod:`repro.containers.runtime`), and the container host itself, which
+composes the filesystem, the IMA agent, the SGX platform, and optionally a
+TPM (:mod:`repro.containers.host`).
+"""
+
+from repro.containers.image import ContainerImage, Layer
+from repro.containers.registry import Registry
+from repro.containers.container import Container
+from repro.containers.runtime import ContainerRuntime
+from repro.containers.host import ContainerHost
+
+__all__ = [
+    "ContainerImage",
+    "Layer",
+    "Registry",
+    "Container",
+    "ContainerRuntime",
+    "ContainerHost",
+]

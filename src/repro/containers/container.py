@@ -1,0 +1,63 @@
+"""Container instances and their lifecycle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.containers.image import ContainerImage
+from repro.errors import ContainerStateError
+
+STATE_CREATED = "created"
+STATE_RUNNING = "running"
+STATE_STOPPED = "stopped"
+STATE_REMOVED = "removed"
+
+_TRANSITIONS = {
+    STATE_CREATED: {STATE_RUNNING, STATE_REMOVED},
+    STATE_RUNNING: {STATE_STOPPED},
+    STATE_STOPPED: {STATE_RUNNING, STATE_REMOVED},
+    STATE_REMOVED: set(),
+}
+
+
+@dataclass
+class Container:
+    """One deployed container."""
+
+    container_id: str
+    image: ContainerImage
+    state: str = STATE_CREATED
+    labels: Dict[str, str] = field(default_factory=dict)
+    root_path: str = ""
+
+    def _transition(self, new_state: str) -> None:
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ContainerStateError(
+                f"container {self.container_id}: cannot go "
+                f"{self.state} -> {new_state}"
+            )
+        self.state = new_state
+
+    def mark_running(self) -> None:
+        """created/stopped -> running."""
+        self._transition(STATE_RUNNING)
+
+    def mark_stopped(self) -> None:
+        """running -> stopped."""
+        self._transition(STATE_STOPPED)
+
+    def mark_removed(self) -> None:
+        """created/stopped -> removed."""
+        self._transition(STATE_REMOVED)
+
+    @property
+    def running(self) -> bool:
+        """True while the container runs."""
+        return self.state == STATE_RUNNING
+
+    def __repr__(self) -> str:
+        return (
+            f"<Container {self.container_id} image={self.image.reference} "
+            f"state={self.state}>"
+        )

@@ -1,0 +1,72 @@
+"""Content-addressed, layered container images."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.crypto.sha256 import sha256
+from repro.errors import ContainerError
+from repro.pki import der
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One image layer: a set of files it adds or overrides."""
+
+    files: Tuple[Tuple[str, bytes], ...]
+
+    @classmethod
+    def from_dict(cls, files: Dict[str, bytes]) -> "Layer":
+        """Build a layer from a path->content mapping (sorted, canonical)."""
+        return cls(tuple(sorted(files.items())))
+
+    def digest(self) -> bytes:
+        """Content digest of the layer."""
+        return sha256(der.encode([[path, content]
+                                  for path, content in self.files]))
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """A named, tagged stack of layers."""
+
+    name: str
+    tag: str
+    layers: Tuple[Layer, ...]
+    entrypoint: str = "/usr/bin/vnf"
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.tag:
+            raise ContainerError("image name and tag must be non-empty")
+        if not self.layers:
+            raise ContainerError("image needs at least one layer")
+
+    @property
+    def reference(self) -> str:
+        """``name:tag`` reference string."""
+        return f"{self.name}:{self.tag}"
+
+    def digest(self) -> bytes:
+        """Manifest digest over all layer digests (the image identity)."""
+        return sha256(der.encode(
+            [self.name, self.tag, self.entrypoint,
+             [layer.digest() for layer in self.layers]]
+        ))
+
+    def flatten(self) -> Dict[str, bytes]:
+        """The merged filesystem view (later layers win)."""
+        merged: Dict[str, bytes] = {}
+        for layer in self.layers:
+            for path, content in layer.files:
+                merged[path] = content
+        return merged
+
+
+def build_image(name: str, tag: str, files: Dict[str, bytes],
+                entrypoint: str = "/usr/bin/vnf") -> ContainerImage:
+    """Convenience single-layer image builder."""
+    return ContainerImage(
+        name=name, tag=tag, layers=(Layer.from_dict(files),),
+        entrypoint=entrypoint,
+    )

@@ -1,0 +1,55 @@
+"""An image registry with digest verification on pull."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.containers.image import ContainerImage
+from repro.errors import ContainerError, ImageNotFound
+
+
+class Registry:
+    """Push/pull images by ``name:tag``; digests pin content."""
+
+    def __init__(self) -> None:
+        self._images: Dict[str, ContainerImage] = {}
+        self._digests: Dict[str, bytes] = {}
+
+    def push(self, image: ContainerImage) -> bytes:
+        """Store an image; returns its manifest digest."""
+        digest = image.digest()
+        self._images[image.reference] = image
+        self._digests[image.reference] = digest
+        return digest
+
+    def pull(self, reference: str,
+             expected_digest: Optional[bytes] = None) -> ContainerImage:
+        """Fetch an image, optionally verifying a pinned digest.
+
+        Raises:
+            ImageNotFound: unknown reference.
+            ContainerError: digest mismatch (supply-chain tamper).
+        """
+        image = self._images.get(reference)
+        if image is None:
+            raise ImageNotFound(f"no image {reference!r} in registry")
+        if expected_digest is not None and image.digest() != expected_digest:
+            raise ContainerError(
+                f"digest mismatch for {reference!r}: registry content does "
+                "not match the pinned digest"
+            )
+        return image
+
+    def digest_of(self, reference: str) -> bytes:
+        """The stored digest for ``reference``."""
+        try:
+            return self._digests[reference]
+        except KeyError as exc:
+            raise ImageNotFound(f"no image {reference!r} in registry") from exc
+
+    def catalog(self) -> List[str]:
+        """All stored references, sorted."""
+        return sorted(self._images)
+
+    def __len__(self) -> int:
+        return len(self._images)

@@ -1,0 +1,89 @@
+"""The container runtime: materializes images onto the host filesystem.
+
+Starting a container writes its (flattened) image content under
+``/var/lib/containers/<id>/`` and notifies the host's IMA agent about every
+file — which is how deployed VNF code ends up in the integrity measurement
+list the Verification Manager appraises.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.containers.container import Container
+from repro.containers.image import ContainerImage
+from repro.errors import ContainerError
+
+CONTAINER_ROOT = "/var/lib/containers"
+
+
+class ContainerRuntime:
+    """Docker-like lifecycle management bound to one host filesystem.
+
+    Args:
+        filesystem: the host's :class:`repro.ima.SimulatedFilesystem`.
+        on_file_written: hook called with each materialized path (the host
+            wires this to the IMA agent's measure-on-access).
+    """
+
+    def __init__(self, filesystem,
+                 on_file_written: Optional[Callable[[str], None]] = None) -> None:
+        self._fs = filesystem
+        self._on_file_written = on_file_written
+        self._containers: Dict[str, Container] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def create(self, image: ContainerImage,
+               labels: Optional[Dict[str, str]] = None) -> Container:
+        """Create a container from ``image`` (no files materialized yet)."""
+        self._counter += 1
+        container_id = f"ctr-{self._counter:04d}"
+        container = Container(
+            container_id=container_id,
+            image=image,
+            labels=dict(labels or {}),
+            root_path=f"{CONTAINER_ROOT}/{container_id}",
+        )
+        self._containers[container_id] = container
+        return container
+
+    def start(self, container: Container) -> None:
+        """Materialize the image and mark the container running."""
+        container.mark_running()
+        for rel_path, content in sorted(container.image.flatten().items()):
+            host_path = container.root_path + rel_path
+            self._fs.write_file(host_path, content)
+            if self._on_file_written is not None:
+                self._on_file_written(host_path)
+
+    def stop(self, container: Container) -> None:
+        """Stop a running container (files stay on disk, as in Docker)."""
+        container.mark_stopped()
+
+    def remove(self, container: Container) -> None:
+        """Remove a stopped/created container and its files."""
+        container.mark_removed()
+        for path in self._fs.list_files(container.root_path + "/"):
+            self._fs.delete_file(path)
+        del self._containers[container.container_id]
+
+    # -------------------------------------------------------------- queries
+
+    def get(self, container_id: str) -> Container:
+        """Look up a container by id."""
+        try:
+            return self._containers[container_id]
+        except KeyError as exc:
+            raise ContainerError(f"no container {container_id!r}") from exc
+
+    def list_containers(self, running_only: bool = False) -> List[Container]:
+        """All (or only running) containers."""
+        containers = list(self._containers.values())
+        if running_only:
+            containers = [c for c in containers if c.running]
+        return containers
+
+    def __len__(self) -> int:
+        return len(self._containers)

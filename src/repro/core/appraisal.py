@@ -1,0 +1,181 @@
+"""IML appraisal: deciding whether a container host is trustworthy.
+
+"The Verification Manager appraises the trustworthiness of the container
+host based on the obtained quote.  The protocol continues only if the host
+is considered trustworthy following the appraisal" (paper, section 2).
+
+Appraisal checks, in order:
+
+1. structural sanity (boot aggregate first);
+2. internal consistency — the entry list reproduces its claimed aggregate;
+3. every measured file matches an expected ("golden") value;
+4. in the TPM-rooted configuration (paper §4), the quoted hardware PCR
+   matches the aggregate recomputed from the shipped list, with the TPM
+   quote verified against the platform's certified AIK and bound to the
+   verifier's nonce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.crypto.keys import EcPublicKey
+from repro.crypto.sha256 import sha256
+from repro.errors import AppraisalFailed
+from repro.ima.iml import BOOT_AGGREGATE_PATH, ImaEntry, MeasurementList
+from repro.tpm.quote import TpmQuote
+
+IMA_PCR_INDEX = 10
+
+
+class ExpectedValues:
+    """The golden-value database: path -> allowed content hashes."""
+
+    def __init__(self) -> None:
+        self._allowed: Dict[str, Set[bytes]] = {}
+        self._prefix_allow_unknown: List[str] = []
+
+    def allow(self, path: str, file_hash: bytes) -> None:
+        """Whitelist a hash for ``path``."""
+        self._allowed.setdefault(path, set()).add(file_hash)
+
+    def allow_content(self, path: str, content: bytes) -> None:
+        """Whitelist ``path`` with the hash of ``content``."""
+        self.allow(path, sha256(content))
+
+    def allow_image(self, root_prefix: str, image) -> None:
+        """Whitelist every file a container image materializes under
+        ``root_prefix`` (e.g. ``/var/lib/containers/ctr-0001``)."""
+        for rel_path, content in image.flatten().items():
+            self.allow_content(root_prefix + rel_path, content)
+
+    def allow_unknown_under(self, prefix: str) -> None:
+        """Tolerate unlisted paths under ``prefix`` (e.g. mutable state
+        the policy measures but the operator does not pin)."""
+        self._prefix_allow_unknown.append(prefix)
+
+    def check(self, entry: ImaEntry) -> Optional[str]:
+        """Return a failure description for ``entry``, or ``None`` if ok."""
+        allowed = self._allowed.get(entry.path)
+        if allowed is None:
+            if any(entry.path.startswith(p)
+                   for p in self._prefix_allow_unknown):
+                return None
+            return f"unexpected measured path {entry.path}"
+        if entry.file_hash not in allowed:
+            return (
+                f"hash mismatch for {entry.path}: "
+                f"{entry.file_hash.hex()[:16]}... not in golden set"
+            )
+        return None
+
+    def __len__(self) -> int:
+        return len(self._allowed)
+
+
+@dataclass
+class AppraisalResult:
+    """The appraisal verdict plus every individual failure found."""
+
+    trustworthy: bool
+    failures: List[str] = field(default_factory=list)
+    entries_checked: int = 0
+    tpm_verified: bool = False
+
+    def raise_if_failed(self, subject: str = "host") -> None:
+        """Raise :class:`AppraisalFailed` carrying the failure list."""
+        if not self.trustworthy:
+            raise AppraisalFailed(
+                f"{subject} failed appraisal: " + "; ".join(self.failures)
+            )
+
+
+class AppraisalEngine:
+    """Appraises shipped measurement lists against expected values."""
+
+    def __init__(self, expected: ExpectedValues,
+                 require_tpm: bool = False) -> None:
+        self.expected = expected
+        self.require_tpm = require_tpm
+
+    def appraise(self, iml_bytes: bytes,
+                 claimed_aggregate: bytes,
+                 tpm_quote_bytes: bytes = b"",
+                 aik_public: Optional[EcPublicKey] = None,
+                 nonce: bytes = b"") -> AppraisalResult:
+        """Appraise a serialized IML.
+
+        Args:
+            iml_bytes: the serialized measurement list from the quote.
+            claimed_aggregate: the aggregate the host claims (bound inside
+                the SGX quote's report data by the attestation enclave).
+            tpm_quote_bytes: optional serialized TPM quote over PCR 10.
+            aik_public: the platform's certified AIK (required with TPM).
+            nonce: the freshness challenge the TPM quote must embed.
+        """
+        result = AppraisalResult(trustworthy=True)
+        iml = MeasurementList.from_bytes(iml_bytes)
+        entries = iml.entries
+        result.entries_checked = len(entries)
+
+        if not entries or entries[0].path != BOOT_AGGREGATE_PATH:
+            result.failures.append("IML does not start with boot_aggregate")
+
+        recomputed = MeasurementList.compute_aggregate(entries)
+        if recomputed != claimed_aggregate:
+            result.failures.append(
+                "IML is internally inconsistent: recomputed aggregate "
+                "does not match the claimed aggregate"
+            )
+
+        from repro.ima.iml import VIOLATION_HASH
+
+        for entry in entries:
+            if entry.path == BOOT_AGGREGATE_PATH:
+                continue
+            if entry.file_hash == VIOLATION_HASH:
+                result.failures.append(
+                    f"measurement violation for {entry.path}: the file "
+                    "changed while being measured (ToMToU)"
+                )
+                continue
+            failure = self.expected.check(entry)
+            if failure is not None:
+                result.failures.append(failure)
+
+        if self.require_tpm or tpm_quote_bytes:
+            tpm_failures = self._check_tpm(
+                tpm_quote_bytes, aik_public, recomputed, nonce
+            )
+            result.failures.extend(tpm_failures)
+            result.tpm_verified = not tpm_failures and bool(tpm_quote_bytes)
+
+        result.trustworthy = not result.failures
+        return result
+
+    def _check_tpm(self, tpm_quote_bytes: bytes,
+                   aik_public: Optional[EcPublicKey],
+                   recomputed_aggregate: bytes,
+                   nonce: bytes) -> List[str]:
+        if not tpm_quote_bytes:
+            return ["TPM quote required by policy but not supplied"]
+        if aik_public is None:
+            return ["no certified AIK available for this platform"]
+        try:
+            quote = TpmQuote.from_bytes(tpm_quote_bytes)
+            quote.verify(aik_public)
+        except Exception as exc:  # noqa: BLE001 — any failure means distrust
+            return [f"TPM quote invalid: {exc}"]
+        if nonce and quote.nonce != nonce:
+            return ["TPM quote nonce mismatch (replay?)"]
+        try:
+            hardware_pcr = quote.value_of(IMA_PCR_INDEX)
+        except Exception as exc:  # noqa: BLE001
+            return [f"TPM quote lacks PCR {IMA_PCR_INDEX}: {exc}"]
+        if hardware_pcr != recomputed_aggregate:
+            return [
+                "hardware PCR-10 does not match the shipped IML: the "
+                "measurement log was rewritten after the fact"
+            ]
+        return []

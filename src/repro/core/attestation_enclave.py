@@ -1,0 +1,156 @@
+"""The Integrity Attestation Enclave (host side of Figure 1).
+
+Runs on the container host.  On request it pulls the current IMA
+measurement list (an OCALL — the list lives in untrusted kernel memory),
+optionally obtains a TPM quote over PCR 10 (the paper's future-work
+protocol), and produces an SGX report whose 64-byte report data binds the
+hash of everything it ships plus the verifier's nonce.  The quoting
+enclave turns that report into the quote the Verification Manager sends to
+IAS (workflow steps 1-2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.crypto.keys import EcPrivateKey
+from repro.crypto.sha256 import sha256
+from repro.sgx.enclave import Enclave, EnclaveImage
+from repro.sgx.quote import Quote
+from repro.sgx.report import Report, TargetInfo
+from repro.sgx.sigstruct import sign_image
+
+IMA_PCR_INDEX = 10
+
+
+def attestation_report_data(iml_bytes: bytes, aggregate: bytes,
+                            tpm_quote_bytes: bytes, nonce: bytes) -> bytes:
+    """The 64-byte binding over everything the enclave ships."""
+    head = sha256(b"iml" + iml_bytes + aggregate)
+    tail = sha256(b"tpm" + tpm_quote_bytes + b"nonce" + nonce)
+    return head + tail
+
+
+class AttestationEnclaveBehavior:
+    """The enclave's measured code.
+
+    The host wires two OCALL hooks at construction time (through the
+    factory closure): one that snapshots the IML, one that asks the TPM
+    for a quote.  Both return *untrusted* data; trust is established by
+    the verifier re-checking consistency and the TPM signature.
+    """
+
+    ECALLS = ("collect_evidence",)
+
+    def __init__(self, api, read_iml: Callable[[], Tuple[bytes, bytes]],
+                 read_tpm_quote: Optional[Callable[[bytes], bytes]]) -> None:
+        self._api = api
+        self._read_iml = read_iml
+        self._read_tpm_quote = read_tpm_quote
+
+    def collect_evidence(self, qe_target: TargetInfo,
+                         nonce: bytes) -> Tuple[bytes, bytes, bytes, bytes]:
+        """Snapshot the IML (+ TPM quote), return it with a bound report.
+
+        Returns ``(iml_bytes, aggregate, tpm_quote_bytes, report_bytes)``.
+        """
+        iml_bytes, aggregate = self._api.ocall(self._read_iml)
+        tpm_quote_bytes = b""
+        if self._read_tpm_quote is not None:
+            tpm_quote_bytes = self._api.ocall(self._read_tpm_quote, nonce)
+        report = self._api.create_report(
+            qe_target,
+            attestation_report_data(iml_bytes, aggregate, tpm_quote_bytes,
+                                    nonce),
+        )
+        return iml_bytes, aggregate, tpm_quote_bytes, report.to_bytes()
+
+
+def attestation_enclave_image(host) -> EnclaveImage:
+    """Build the host-bound image (OCALL hooks wired to this host)."""
+
+    def read_iml() -> Tuple[bytes, bytes]:
+        return host.ima.iml.to_bytes(), host.ima.iml.aggregate()
+
+    read_tpm = None
+    if host.tpm is not None:
+        def read_tpm(nonce: bytes) -> bytes:
+            return host.tpm.quote([IMA_PCR_INDEX], nonce).to_bytes()
+
+    def factory(api):
+        return AttestationEnclaveBehavior(api, read_iml, read_tpm)
+
+    base = EnclaveImage.from_behavior_class(
+        AttestationEnclaveBehavior, "integrity-attestation-enclave"
+    )
+    return EnclaveImage(name=base.name, version=base.version,
+                        code=base.code, behavior_factory=factory)
+
+
+def reference_measurement() -> bytes:
+    """The MRENCLAVE a verifier should expect for this enclave."""
+    from repro.sgx.measurement import measure_image
+
+    base = EnclaveImage.from_behavior_class(
+        AttestationEnclaveBehavior, "integrity-attestation-enclave"
+    )
+    return measure_image(base.code)
+
+
+class AttestationEnclave:
+    """Host-side handle: launch the enclave and collect quoted evidence."""
+
+    def __init__(self, host, vendor_key: EcPrivateKey,
+                 isv_svn: int = 1) -> None:
+        self.host = host
+        image = attestation_enclave_image(host)
+        sigstruct = sign_image(vendor_key, image.code,
+                               vendor="RISE-attestation",
+                               isv_prod_id=100, isv_svn=isv_svn)
+        self.enclave: Enclave = host.platform.create_enclave(
+            image, sigstruct, label=f"{host.name}/attestation-enclave"
+        )
+
+    def collect_quoted_evidence(self, nonce: bytes,
+                                basename: bytes) -> "QuotedEvidence":
+        """Run the full evidence pipeline: ECALL + QE quote."""
+        qe = self.host.platform.quoting_enclave
+        iml_bytes, aggregate, tpm_quote_bytes, report_bytes = (
+            self.enclave.ecall("collect_evidence", qe.target_info(), nonce)
+        )
+        quote = qe.generate(Report.from_bytes(report_bytes), basename)
+        return QuotedEvidence(
+            iml_bytes=iml_bytes,
+            aggregate=aggregate,
+            tpm_quote_bytes=tpm_quote_bytes,
+            quote=quote,
+        )
+
+
+class QuotedEvidence:
+    """What the host returns to the Verification Manager in step 1."""
+
+    def __init__(self, iml_bytes: bytes, aggregate: bytes,
+                 tpm_quote_bytes: bytes, quote: Quote) -> None:
+        self.iml_bytes = iml_bytes
+        self.aggregate = aggregate
+        self.tpm_quote_bytes = tpm_quote_bytes
+        self.quote = quote
+
+    def to_bytes(self) -> bytes:
+        """Serialized evidence (travels VM <- host agent)."""
+        from repro.pki import der
+
+        return der.encode([
+            self.iml_bytes, self.aggregate, self.tpm_quote_bytes,
+            self.quote.to_bytes(),
+        ])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "QuotedEvidence":
+        """Parse serialized evidence."""
+        from repro.pki import der
+
+        iml_bytes, aggregate, tpm_quote_bytes, quote_bytes = der.decode(data)
+        return cls(iml_bytes, aggregate, tpm_quote_bytes,
+                   Quote.from_bytes(quote_bytes))

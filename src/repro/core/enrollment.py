@@ -1,0 +1,130 @@
+"""The enrolment state machine (the paper's use case 2).
+
+"The second use case is enrolling the VNF into the SDN deployment.  A
+prerequisite for this is that the VNF has been attested...  The provisioned
+key can then be used to establish a secure communication session with the
+SDN controller."
+
+:class:`EnrollmentSession` drives the Figure 1 workflow for one VNF and
+records per-step timings (simulated and wall-clock), which is what
+experiment E1 reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.host_agent import HostAgentClient
+from repro.core.verification_manager import VerificationManager
+from repro.errors import EnrollmentError
+
+STATE_INIT = "init"
+STATE_HOST_ATTESTED = "host-attested"
+STATE_VNF_ATTESTED_AND_PROVISIONED = "provisioned"
+STATE_ENROLLED = "enrolled"
+STATE_FAILED = "failed"
+
+
+@dataclass
+class StepTiming:
+    """Timing record for one workflow step."""
+
+    step: str
+    simulated_seconds: float
+    wall_seconds: float
+
+
+@dataclass
+class EnrollmentSession:
+    """Drives one VNF from untrusted to enrolled.
+
+    Args:
+        vm: the Verification Manager.
+        agent: the host agent stub for the VNF's container host.
+        host_name: the container host.
+        vnf_name: the VNF to enrol.
+        controller_address: where the enrolled VNF should connect.
+        sim_now: simulated-time source for timings.
+    """
+
+    vm: VerificationManager
+    agent: HostAgentClient
+    host_name: str
+    vnf_name: str
+    controller_address: str
+    sim_now: Callable[[], float] = lambda: 0.0
+    state: str = STATE_INIT
+    timings: List[StepTiming] = field(default_factory=list)
+    certificate_serial: Optional[int] = None
+
+    def _timed(self, step: str, fn: Callable[[], object]) -> object:
+        sim_start = self.sim_now()
+        wall_start = time.perf_counter()
+        try:
+            result = fn()
+        except Exception:
+            self.state = STATE_FAILED
+            raise
+        self.timings.append(StepTiming(
+            step=step,
+            simulated_seconds=self.sim_now() - sim_start,
+            wall_seconds=time.perf_counter() - wall_start,
+        ))
+        return result
+
+    # ----------------------------------------------------------- the steps
+
+    def attest_host(self):
+        """Steps 1-2: host attestation + IAS verification + appraisal."""
+        if self.state != STATE_INIT:
+            raise EnrollmentError(f"attest_host in state {self.state}")
+
+        def attest_and_check():
+            result = self.vm.attest_host(self.agent, self.host_name)
+            result.raise_if_failed(self.host_name)
+            return result
+
+        result = self._timed("host-attestation (steps 1-2)",
+                             attest_and_check)
+        self.state = STATE_HOST_ATTESTED
+        return result
+
+    def provision(self):
+        """Steps 3-5: VNF attestation, credential issue + provisioning."""
+        if self.state != STATE_HOST_ATTESTED:
+            raise EnrollmentError(f"provision in state {self.state}")
+        certificate = self._timed(
+            "vnf-attestation+provisioning (steps 3-5)",
+            lambda: self.vm.enroll_vnf(
+                self.agent, self.host_name, self.vnf_name,
+                self.controller_address,
+            ),
+        )
+        self.certificate_serial = certificate.serial
+        self.state = STATE_VNF_ATTESTED_AND_PROVISIONED
+        return certificate
+
+    def connect(self, client) -> dict:
+        """Step 6: first authenticated controller call through the enclave."""
+        if self.state != STATE_VNF_ATTESTED_AND_PROVISIONED:
+            raise EnrollmentError(f"connect in state {self.state}")
+        summary = self._timed(
+            "controller-session (step 6)",
+            client.summary,
+        )
+        self.state = STATE_ENROLLED
+        return summary
+
+    def run(self, client) -> List[StepTiming]:
+        """Run all steps; returns the timing breakdown."""
+        self.attest_host()
+        self.provision()
+        self.connect(client)
+        return list(self.timings)
+
+    @property
+    def total_simulated_seconds(self) -> float:
+        """Sum of per-step simulated time."""
+        return sum(t.simulated_seconds for t in self.timings)

@@ -1,0 +1,68 @@
+"""The Verification Manager's audit log.
+
+Every trust decision — attestation verdicts, appraisal failures, credential
+issuance and revocation — is recorded with its simulated timestamp, so
+operators (and tests) can reconstruct why a VNF does or does not hold
+credentials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+EVENT_HOST_ATTESTED = "host-attested"
+EVENT_HOST_REJECTED = "host-rejected"
+EVENT_VNF_ATTESTED = "vnf-attested"
+EVENT_VNF_REJECTED = "vnf-rejected"
+EVENT_CREDENTIAL_ISSUED = "credential-issued"
+EVENT_CREDENTIAL_PROVISIONED = "credential-provisioned"
+EVENT_CREDENTIAL_REVOKED = "credential-revoked"
+EVENT_PLATFORM_REVOKED = "platform-revoked"
+EVENT_APPRAISAL_FAILED = "appraisal-failed"
+EVENT_ENROLLMENT_COMPLETE = "enrollment-complete"
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One audit record."""
+
+    kind: str
+    subject: str
+    timestamp: float
+    details: str = ""
+
+
+class AuditLog:
+    """Append-only event store with simple querying."""
+
+    def __init__(self, now: Callable[[], float] = lambda: 0.0) -> None:
+        self._now = now
+        self._events: List[AuditEvent] = []
+
+    def record(self, kind: str, subject: str, details: str = "") -> AuditEvent:
+        """Append an event stamped with the current simulated time."""
+        event = AuditEvent(kind=kind, subject=subject,
+                           timestamp=self._now(), details=details)
+        self._events.append(event)
+        return event
+
+    def events(self, kind: Optional[str] = None,
+               subject: Optional[str] = None) -> List[AuditEvent]:
+        """Events, optionally filtered by kind and/or subject."""
+        out = self._events
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if subject is not None:
+            out = [e for e in out if e.subject == subject]
+        return list(out)
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts by kind."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,162 @@
+"""The host agent: the container host's endpoint for Verification Manager
+requests.
+
+Transport is a framed request/response protocol on the simulated network.
+The channel itself is *untrusted by design*: every security-relevant
+payload that crosses it is self-protecting — quotes are EPID-signed and
+nonce-bound, provisioning bundles are encrypted to attested in-enclave
+keys.  (The paper's prototype additionally wraps this link in mbedTLS-SGX;
+the trust analysis is identical because the secure channel's endpoints are
+themselves established via attestation.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.attestation_enclave import AttestationEnclave, QuotedEvidence
+from repro.core.credential_enclave import CredentialEnclave
+from repro.core.provisioning import ProvisioningMessage
+from repro.errors import VnfSgxError
+from repro.net.address import Address
+from repro.net.framing import send_frame, try_recv_frame
+from repro.net.simnet import Network
+from repro.pki import der
+
+AGENT_PORT = 7000
+
+
+class HostAgent:
+    """Serves attestation/provisioning operations for one container host."""
+
+    def __init__(self, host, attestation_enclave: AttestationEnclave,
+                 network: Network, port: int = AGENT_PORT) -> None:
+        self.host = host
+        self.address = Address(host.name, port)
+        self._attestation = attestation_enclave
+        self._credential_enclaves: Dict[str, CredentialEnclave] = {}
+        network.listen(self.address, self._accept)
+
+    def register_vnf(self, credential_enclave: CredentialEnclave) -> None:
+        """Expose a VNF's credential enclave to the Verification Manager."""
+        self._credential_enclaves[credential_enclave.vnf_name] = (
+            credential_enclave
+        )
+
+    def credential_enclave(self, vnf_name: str) -> CredentialEnclave:
+        """Look up a registered enclave."""
+        try:
+            return self._credential_enclaves[vnf_name]
+        except KeyError as exc:
+            raise VnfSgxError(
+                f"host {self.host.name} has no VNF enclave {vnf_name!r}"
+            ) from exc
+
+    # ------------------------------------------------------------ transport
+
+    def _accept(self, channel) -> None:
+        def on_data(ch) -> None:
+            while True:
+                frame = try_recv_frame(ch)
+                if frame is None:
+                    return
+                send_frame(ch, self._handle(frame))
+
+        channel.on_receive(on_data)
+
+    def _handle(self, frame: bytes) -> bytes:
+        try:
+            request = der.decode(frame)
+            op = request[0]
+            if op == "attest_host":
+                _, nonce, basename = request
+                evidence = self._attestation.collect_quoted_evidence(
+                    nonce, basename
+                )
+                return der.encode(["ok", evidence.to_bytes()])
+            if op == "begin_provisioning":
+                _, vnf_name, vm_nonce = request
+                enclave = self.credential_enclave(vnf_name)
+                return der.encode(["ok", enclave.begin_provisioning(vm_nonce)])
+            if op == "quote_vnf":
+                _, vnf_name, basename = request
+                enclave = self.credential_enclave(vnf_name)
+                return der.encode(
+                    ["ok", enclave.quote_binding(basename).to_bytes()]
+                )
+            if op == "complete_provisioning":
+                _, vnf_name, message_bytes = request
+                enclave = self.credential_enclave(vnf_name)
+                subject = enclave.complete_provisioning(
+                    ProvisioningMessage.from_bytes(message_bytes)
+                )
+                return der.encode(["ok", subject])
+            if op == "generate_csr":
+                _, vnf_name, subject_name, vm_nonce = request
+                enclave = self.credential_enclave(vnf_name)
+                return der.encode(
+                    ["ok", enclave.generate_csr(subject_name, vm_nonce)]
+                )
+            if op == "install_certificate":
+                _, vnf_name, certificate_bytes, anchors, address = request
+                enclave = self.credential_enclave(vnf_name)
+                subject = enclave.install_certificate(
+                    certificate_bytes, tuple(anchors), address
+                )
+                return der.encode(["ok", subject])
+            return der.encode(["error", f"unknown operation {op!r}"])
+        except Exception as exc:  # noqa: BLE001 — agent must stay up
+            return der.encode(["error", f"{type(exc).__name__}: {exc}"])
+
+
+class HostAgentClient:
+    """The Verification Manager's stub for one host agent."""
+
+    def __init__(self, network: Network, address: Address,
+                 source_host: str = "verification-manager") -> None:
+        self._network = network
+        self._address = address
+        self._source_host = source_host
+        self._channel = None
+
+    def _call(self, request: list):
+        from repro.net.framing import recv_frame
+
+        if self._channel is None or self._channel.closed:
+            self._channel = self._network.connect(self._source_host,
+                                                  self._address)
+        send_frame(self._channel, der.encode(request))
+        response = der.decode(recv_frame(self._channel))
+        if response[0] != "ok":
+            raise VnfSgxError(f"host agent error: {response[1]}")
+        return response[1]
+
+    def attest_host(self, nonce: bytes, basename: bytes) -> QuotedEvidence:
+        """Step 1: request quoted host evidence."""
+        return QuotedEvidence.from_bytes(
+            self._call(["attest_host", nonce, basename])
+        )
+
+    def begin_provisioning(self, vnf_name: str, vm_nonce: bytes) -> bytes:
+        """Ask a VNF enclave for its delivery public key."""
+        return self._call(["begin_provisioning", vnf_name, vm_nonce])
+
+    def quote_vnf(self, vnf_name: str, basename: bytes) -> bytes:
+        """Step 3: request the VNF enclave's binding quote (serialized)."""
+        return self._call(["quote_vnf", vnf_name, basename])
+
+    def complete_provisioning(self, vnf_name: str,
+                              message_bytes: bytes) -> str:
+        """Step 5: deliver the encrypted credential bundle."""
+        return self._call(["complete_provisioning", vnf_name, message_bytes])
+
+    def generate_csr(self, vnf_name: str, subject_name: str,
+                     vm_nonce: bytes) -> bytes:
+        """CSR variant: ask the enclave for an in-enclave-keyed CSR."""
+        return self._call(["generate_csr", vnf_name, subject_name, vm_nonce])
+
+    def install_certificate(self, vnf_name: str, certificate_bytes: bytes,
+                            anchors, address: str) -> str:
+        """CSR variant: deliver the signed certificate."""
+        return self._call(["install_certificate", vnf_name,
+                           certificate_bytes, list(anchors), address])

@@ -1,0 +1,47 @@
+"""Deployment policy: what the Verification Manager is configured to trust."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import attestation_enclave as ae
+from repro.core import credential_enclave as ce
+
+DEFAULT_BASENAME = b"vnf-sgx-deployment"
+DEFAULT_CREDENTIAL_VALIDITY = 30 * 24 * 3600  # 30 simulated days
+
+
+@dataclass
+class DeploymentPolicy:
+    """Administrator configuration for one SDN deployment.
+
+    Attributes:
+        expected_attestation_mrenclave: golden measurement of the host-side
+            integrity attestation enclave.
+        expected_credential_mrenclave: golden measurement of the VNF
+            credential enclave.
+        min_isv_svn: oldest acceptable enclave security version.
+        allow_debug_enclaves: accept DEBUG-attribute enclaves (whose memory
+            the host can read).  Never enable in production; the default
+            rejects them, as real relying parties must.
+        require_tpm: insist on TPM-rooted measurement lists (paper §4).
+        basename: EPID basename pinning quote linkability to this
+            deployment (what makes SigRL revocation effective).
+        credential_validity: lifetime of issued client certificates.
+    """
+
+    expected_attestation_mrenclave: bytes = field(
+        default_factory=ae.reference_measurement
+    )
+    expected_credential_mrenclave: bytes = field(
+        default_factory=ce.reference_measurement
+    )
+    min_isv_svn: int = 1
+    allow_debug_enclaves: bool = False
+    require_tpm: bool = False
+    basename: bytes = DEFAULT_BASENAME
+    credential_validity: int = DEFAULT_CREDENTIAL_VALIDITY
+
+    def check_enclave_svn(self, isv_svn: int) -> bool:
+        """True when the quoted SVN meets the policy floor."""
+        return isv_svn >= self.min_isv_svn

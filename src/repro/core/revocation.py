@@ -1,0 +1,75 @@
+"""Re-attestation and revocation orchestration.
+
+The Verification Manager can "provision or revoke authentication keys that
+can be used by VNFs *as long as the container host is trustworthy*"
+(paper, section 2).  :class:`ReattestationMonitor` implements the "as long
+as" part: it periodically re-attests hosts and, on an appraisal failure,
+distrusts the host, revokes every credential on it, and (optionally)
+revokes the platform's EPID key at IAS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.host_agent import HostAgentClient
+from repro.core.verification_manager import VerificationManager
+from repro.errors import AttestationFailed
+
+
+@dataclass
+class ReattestationOutcome:
+    """The result of one monitoring sweep over one host."""
+
+    host_name: str
+    trustworthy: bool
+    revoked_vnfs: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+
+class ReattestationMonitor:
+    """Periodic trust maintenance for a fleet of hosts."""
+
+    def __init__(self, vm: VerificationManager,
+                 ias_service=None) -> None:
+        self._vm = vm
+        self._ias_service = ias_service
+        self._hosts: Dict[str, HostAgentClient] = {}
+        self.sweeps = 0
+
+    def watch(self, host_name: str, agent: HostAgentClient) -> None:
+        """Add a host to the monitored set."""
+        self._hosts[host_name] = agent
+
+    def sweep(self) -> List[ReattestationOutcome]:
+        """Re-attest every watched host, revoking on failure."""
+        self.sweeps += 1
+        outcomes = []
+        for host_name, agent in self._hosts.items():
+            outcomes.append(self._check_one(host_name, agent))
+        return outcomes
+
+    def _check_one(self, host_name: str,
+                   agent: HostAgentClient) -> ReattestationOutcome:
+        try:
+            result = self._vm.attest_host(agent, host_name)
+        except AttestationFailed as exc:
+            result_failures = [str(exc)]
+            revoked = self._punish(host_name)
+            return ReattestationOutcome(host_name, False, revoked,
+                                        result_failures)
+        if result.trustworthy:
+            return ReattestationOutcome(host_name, True)
+        revoked = self._punish(host_name)
+        return ReattestationOutcome(host_name, False, revoked,
+                                    list(result.failures))
+
+    def _punish(self, host_name: str) -> List[str]:
+        revoked = self._vm.distrust_host(host_name)
+        if self._ias_service is not None:
+            try:
+                self._ias_service.revoke_platform(host_name)
+            except Exception:  # noqa: BLE001 — platform may be unregistered
+                pass
+        return revoked

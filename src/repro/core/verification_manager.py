@@ -1,0 +1,403 @@
+"""The Verification Manager — the paper's central component.
+
+"We introduce a Verification Manager module that has a central position in
+our proposed architecture: it obtains integrity measurements of VNFs
+through an attestation protocol and appraises the trustworthiness of the
+platform.  Furthermore, it handles the communication with third-party
+attestation services, generates the HMAC key and nonces, as well as the
+certificates for the client authentication."  (paper, section 2.)
+
+Responsibilities implemented here, keyed to Figure 1:
+
+- step 1/2: remote attestation of container hosts, IAS verification,
+  IML appraisal (optionally TPM-rooted);
+- step 3/4: remote attestation of VNF credential enclaves;
+- step 5: CA duties — key generation, certificate signing, encrypted
+  provisioning into the attested enclave;
+- revocation: CRLs for credentials, IAS revocation for platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core import events as ev
+from repro.core.appraisal import AppraisalEngine, AppraisalResult, ExpectedValues
+from repro.core.attestation_enclave import attestation_report_data
+from repro.core.host_agent import HostAgentClient
+from repro.core.policy import DeploymentPolicy
+from repro.core.provisioning import (
+    CredentialBundle,
+    binding_hash,
+    encrypt_bundle,
+)
+from repro.crypto.keys import EcPublicKey, generate_keypair
+from repro.crypto.rng import HmacDrbg, default_rng
+from repro.errors import AttestationFailed, RevocationError, VnfSgxError
+from repro.ias.api import IasClient
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import Certificate, KEY_USAGE_CLIENT_AUTH
+from repro.pki.crl import REASON_PLATFORM_UNTRUSTED, REASON_UNSPECIFIED
+from repro.pki.name import DistinguishedName
+from repro.pki.truststore import Truststore
+from repro.sgx.quote import Quote
+
+
+class HostTrustRecord:
+    """What the VM remembers about an attested host."""
+
+    def __init__(self, host_name: str, attested_at: float,
+                 appraisal: AppraisalResult) -> None:
+        self.host_name = host_name
+        self.attested_at = attested_at
+        self.appraisal = appraisal
+        self.revoked = False
+
+    @property
+    def trusted(self) -> bool:
+        """Current trust verdict."""
+        return self.appraisal.trustworthy and not self.revoked
+
+
+class VerificationManager:
+    """The deployment's trust root."""
+
+    #: Modelled verifier-side cost of appraising one IML entry (two hash
+    #: applications plus a golden-value lookup).  Charged to the virtual
+    #: clock so attestation latency scales with measurement-list size
+    #: (experiment E2); tune per deployment hardware.
+    APPRAISAL_SECONDS_PER_ENTRY = 5e-6
+
+    def __init__(self, ias_client: IasClient, policy: DeploymentPolicy,
+                 expected_values: ExpectedValues,
+                 now: Callable[[], float] = lambda: 0.0,
+                 rng: Optional[HmacDrbg] = None,
+                 ca_name: str = "Verification-Manager-CA",
+                 clock=None) -> None:
+        self._ias = ias_client
+        self.policy = policy
+        self.appraisal_engine = AppraisalEngine(
+            expected_values, require_tpm=policy.require_tpm
+        )
+        self._now = now
+        self._clock = clock
+        self._rng = rng or default_rng()
+        self.ca = CertificateAuthority(
+            DistinguishedName(ca_name, "RISE"), now=int(now()), rng=self._rng
+        )
+        self.audit = ev.AuditLog(now=now)
+        self._hosts: Dict[str, HostTrustRecord] = {}
+        self._aiks: Dict[str, EcPublicKey] = {}
+        self._issued: Dict[str, Certificate] = {}  # vnf name -> current cert
+        self._vnf_host: Dict[str, str] = {}        # vnf name -> host name
+        self._crl_subscribers: List[object] = []   # TlsConfigs to refresh
+
+    # --------------------------------------------------------------- trust
+
+    def controller_truststore(self) -> Truststore:
+        """What the controller is provisioned with instead of per-client
+        certificates: just this CA (paper, section 3)."""
+        return Truststore([self.ca.certificate])
+
+    def register_host_tpm(self, host_name: str,
+                          aik_public: EcPublicKey) -> None:
+        """Out-of-band AIK registration during host onboarding."""
+        self._aiks[host_name] = aik_public
+
+    def host_trusted(self, host_name: str) -> bool:
+        """Is ``host_name`` currently appraised as trustworthy?"""
+        record = self._hosts.get(host_name)
+        return record is not None and record.trusted
+
+    # ------------------------------------------------------- steps 1 and 2
+
+    def attest_host(self, agent: HostAgentClient,
+                    host_name: str) -> AppraisalResult:
+        """Remote-attest a container host and appraise its IML.
+
+        Raises:
+            AttestationFailed: IAS rejection, wrong enclave identity, or
+                broken evidence binding.  Appraisal failures are returned
+                in the result (and recorded), not raised, so callers can
+                inspect them.
+        """
+        nonce = self._rng.random_bytes(16)
+        evidence = agent.attest_host(nonce, self.policy.basename)
+        self._verify_quote_with_ias(evidence.quote, nonce, host_name)
+        self._check_identity(
+            evidence.quote, self.policy.expected_attestation_mrenclave,
+            host_name, "attestation enclave",
+        )
+        expected_binding = attestation_report_data(
+            evidence.iml_bytes, evidence.aggregate,
+            evidence.tpm_quote_bytes, nonce,
+        )
+        if evidence.quote.report_data != expected_binding:
+            self.audit.record(ev.EVENT_HOST_REJECTED, host_name,
+                              "evidence binding mismatch")
+            raise AttestationFailed(
+                f"{host_name}: quote does not bind the shipped evidence"
+            )
+        result = self.appraisal_engine.appraise(
+            evidence.iml_bytes,
+            evidence.aggregate,
+            tpm_quote_bytes=evidence.tpm_quote_bytes,
+            aik_public=self._aiks.get(host_name),
+            nonce=nonce,
+        )
+        if self._clock is not None:
+            self._clock.advance(
+                result.entries_checked * self.APPRAISAL_SECONDS_PER_ENTRY,
+                "appraisal-compute",
+            )
+        self._hosts[host_name] = HostTrustRecord(
+            host_name, self._now(), result
+        )
+        if result.trustworthy:
+            self.audit.record(ev.EVENT_HOST_ATTESTED, host_name,
+                              f"{result.entries_checked} IML entries")
+        else:
+            self.audit.record(ev.EVENT_APPRAISAL_FAILED, host_name,
+                              "; ".join(result.failures))
+        return result
+
+    # ------------------------------------------------------- steps 3 and 4
+
+    def attest_vnf(self, agent: HostAgentClient, host_name: str,
+                   vnf_name: str) -> bytes:
+        """Attest a VNF enclave; returns its bound delivery public key.
+
+        The host must have passed appraisal first ("the protocol continues
+        only if the host is considered trustworthy").
+        """
+        if not self.host_trusted(host_name):
+            raise AttestationFailed(
+                f"refusing to attest VNF {vnf_name}: host {host_name} is "
+                "not trusted"
+            )
+        vm_nonce = self._rng.random_bytes(16)
+        delivery_public = agent.begin_provisioning(vnf_name, vm_nonce)
+        quote = Quote.from_bytes(agent.quote_vnf(vnf_name,
+                                                 self.policy.basename))
+        self._verify_quote_with_ias(quote, vm_nonce, vnf_name)
+        self._check_identity(
+            quote, self.policy.expected_credential_mrenclave,
+            vnf_name, "credential enclave",
+        )
+        if quote.report_data != binding_hash(delivery_public, vm_nonce):
+            self.audit.record(ev.EVENT_VNF_REJECTED, vnf_name,
+                              "delivery key binding mismatch")
+            raise AttestationFailed(
+                f"{vnf_name}: quote does not bind the delivery key"
+            )
+        self.audit.record(ev.EVENT_VNF_ATTESTED, vnf_name, f"on {host_name}")
+        return delivery_public
+
+    # --------------------------------------------------------------- step 5
+
+    def enroll_vnf(self, agent: HostAgentClient, host_name: str,
+                   vnf_name: str, controller_address: str,
+                   server_anchors: Optional[Truststore] = None) -> Certificate:
+        """Attest, issue, and provision credentials for one VNF.
+
+        Returns the issued client certificate.  The private key is
+        generated here, delivered encrypted, and never stored by the VM.
+        """
+        delivery_public = self.attest_vnf(agent, host_name, vnf_name)
+
+        client_key = generate_keypair(self._rng)
+        certificate = self.ca.issue(
+            subject=DistinguishedName(vnf_name, "vnf"),
+            public_key_bytes=client_key.public.to_bytes(),
+            now=int(self._now()),
+            validity=self.policy.credential_validity,
+            key_usage=(KEY_USAGE_CLIENT_AUTH,),
+        )
+        self.audit.record(ev.EVENT_CREDENTIAL_ISSUED, vnf_name,
+                          f"serial {certificate.serial}")
+        anchors = server_anchors or self.controller_truststore()
+        bundle = CredentialBundle(
+            private_key_bytes=client_key.to_bytes(),
+            certificate_chain=(certificate.to_bytes(),),
+            controller_anchors=tuple(
+                anchor.to_bytes() for anchor in anchors.anchors()
+            ),
+            controller_address=controller_address,
+        )
+        message = encrypt_bundle(delivery_public, bundle, self._rng)
+        subject = agent.complete_provisioning(vnf_name, message.to_bytes())
+        if subject != vnf_name:
+            raise VnfSgxError(
+                f"provisioning confirmation mismatch: {subject!r}"
+            )
+        self._issued[vnf_name] = certificate
+        self._vnf_host[vnf_name] = host_name
+        self.audit.record(ev.EVENT_CREDENTIAL_PROVISIONED, vnf_name,
+                          f"serial {certificate.serial}")
+        return certificate
+
+    def enroll_vnf_csr(self, agent: HostAgentClient, host_name: str,
+                       vnf_name: str, controller_address: str,
+                       server_anchors: Optional[Truststore] = None
+                       ) -> Certificate:
+        """The CSR provisioning variant: the key pair is generated *inside*
+        the enclave and never exists anywhere else — not even at the VM.
+
+        The enclave's quote binds the CSR's public key (same report-data
+        construction as the delivery key), so a man-in-the-middle cannot
+        substitute its own CSR; the CSR's self-signature proves key
+        possession on top.
+        """
+        from repro.pki.csr import CertificateSigningRequest
+
+        if not self.host_trusted(host_name):
+            raise AttestationFailed(
+                f"refusing to enrol VNF {vnf_name}: host {host_name} is "
+                "not trusted"
+            )
+        vm_nonce = self._rng.random_bytes(16)
+        csr_bytes = agent.generate_csr(vnf_name, vnf_name, vm_nonce)
+        csr = CertificateSigningRequest.from_bytes(csr_bytes)
+        csr.verify_proof_of_possession()
+        if csr.subject.common_name != vnf_name:
+            raise AttestationFailed(
+                f"CSR names {csr.subject.common_name!r}, expected "
+                f"{vnf_name!r}"
+            )
+        quote = Quote.from_bytes(agent.quote_vnf(vnf_name,
+                                                 self.policy.basename))
+        self._verify_quote_with_ias(quote, vm_nonce, vnf_name)
+        self._check_identity(
+            quote, self.policy.expected_credential_mrenclave,
+            vnf_name, "credential enclave",
+        )
+        if quote.report_data != binding_hash(csr.public_key_bytes, vm_nonce):
+            self.audit.record(ev.EVENT_VNF_REJECTED, vnf_name,
+                              "CSR key binding mismatch")
+            raise AttestationFailed(
+                f"{vnf_name}: quote does not bind the CSR key"
+            )
+        self.audit.record(ev.EVENT_VNF_ATTESTED, vnf_name,
+                          f"on {host_name} (csr)")
+        certificate = self.ca.issue_from_csr(
+            csr, now=int(self._now()),
+            validity=self.policy.credential_validity,
+        )
+        self.audit.record(ev.EVENT_CREDENTIAL_ISSUED, vnf_name,
+                          f"serial {certificate.serial} (csr)")
+        anchors = server_anchors or self.controller_truststore()
+        subject = agent.install_certificate(
+            vnf_name, certificate.to_bytes(),
+            [anchor.to_bytes() for anchor in anchors.anchors()],
+            controller_address,
+        )
+        if subject != vnf_name:
+            raise VnfSgxError(
+                f"certificate installation confirmation mismatch: "
+                f"{subject!r}"
+            )
+        self._issued[vnf_name] = certificate
+        self._vnf_host[vnf_name] = host_name
+        self.audit.record(ev.EVENT_CREDENTIAL_PROVISIONED, vnf_name,
+                          f"serial {certificate.serial} (csr)")
+        return certificate
+
+    # ------------------------------------------------------------ revocation
+
+    def subscribe_crl(self, tls_config) -> None:
+        """Register a TLS config (e.g. the controller's) for CRL pushes."""
+        self._crl_subscribers.append(tls_config)
+        tls_config.crl = self.ca.current_crl(int(self._now()))
+
+    def revoke_vnf(self, vnf_name: str,
+                   reason: str = REASON_UNSPECIFIED) -> None:
+        """Revoke a VNF's credentials and push the fresh CRL."""
+        certificate = self._issued.get(vnf_name)
+        if certificate is None:
+            raise RevocationError(f"no credentials issued to {vnf_name!r}")
+        self.ca.revoke(certificate.serial, int(self._now()), reason)
+        self._publish_crl()
+        self.audit.record(ev.EVENT_CREDENTIAL_REVOKED, vnf_name,
+                          f"serial {certificate.serial} ({reason})")
+
+    def distrust_host(self, host_name: str) -> List[str]:
+        """Mark a host untrusted and revoke the credentials enrolled *on
+        that host* (others are unaffected — the containment property).
+
+        Returns the names of the revoked VNFs.  (Platform-level EPID
+        revocation at IAS is the operator's separate step.)
+        """
+        record = self._hosts.get(host_name)
+        if record is None:
+            raise RevocationError(f"host {host_name!r} was never attested")
+        record.revoked = True
+        self.audit.record(ev.EVENT_PLATFORM_REVOKED, host_name)
+        revoked = []
+        for vnf_name, certificate in list(self._issued.items()):
+            if self._vnf_host.get(vnf_name) != host_name:
+                continue
+            self.ca.revoke(certificate.serial, int(self._now()),
+                           REASON_PLATFORM_UNTRUSTED)
+            revoked.append(vnf_name)
+        if revoked:
+            self._publish_crl()
+        return revoked
+
+    def _publish_crl(self) -> None:
+        crl = self.ca.current_crl(int(self._now()))
+        for config in self._crl_subscribers:
+            config.crl = crl
+            # Resumed sessions bypass certificate validation, so evict any
+            # cached session that was authenticated by a now-revoked cert.
+            if config.session_cache is not None:
+                config.session_cache.invalidate_where(
+                    lambda session: (
+                        session.peer_certificate is not None
+                        and crl.is_revoked(session.peer_certificate.serial)
+                    )
+                )
+
+    # -------------------------------------------------------------- helpers
+
+    def issued_certificate(self, vnf_name: str) -> Certificate:
+        """The current certificate for an enrolled VNF."""
+        try:
+            return self._issued[vnf_name]
+        except KeyError as exc:
+            raise VnfSgxError(f"{vnf_name!r} is not enrolled") from exc
+
+    def _verify_quote_with_ias(self, quote: Quote, nonce: bytes,
+                               subject: str) -> None:
+        avr = self._ias.verify_quote(quote.to_bytes(), nonce=nonce.hex())
+        if avr.isv_enclave_quote_body != quote.body_bytes().hex():
+            raise AttestationFailed(
+                f"{subject}: AVR covers a different quote body"
+            )
+        if not avr.ok:
+            self.audit.record(ev.EVENT_HOST_REJECTED, subject,
+                              f"IAS verdict {avr.quote_status}")
+            raise AttestationFailed(
+                f"{subject}: IAS verdict {avr.quote_status}"
+            )
+
+    def _check_identity(self, quote: Quote, expected_mrenclave: bytes,
+                        subject: str, kind: str) -> None:
+        if quote.mrenclave != expected_mrenclave:
+            self.audit.record(ev.EVENT_HOST_REJECTED, subject,
+                              f"wrong {kind} measurement")
+            raise AttestationFailed(
+                f"{subject}: {kind} MRENCLAVE "
+                f"{quote.mrenclave.hex()[:16]}... does not match policy"
+            )
+        if not self.policy.check_enclave_svn(quote.isv_svn):
+            raise AttestationFailed(
+                f"{subject}: {kind} SVN {quote.isv_svn} below policy floor "
+                f"{self.policy.min_isv_svn}"
+            )
+        if quote.debug and not self.policy.allow_debug_enclaves:
+            self.audit.record(ev.EVENT_HOST_REJECTED, subject,
+                              f"DEBUG {kind}")
+            raise AttestationFailed(
+                f"{subject}: {kind} runs with the DEBUG attribute — its "
+                "memory is host-readable, refusing to trust it"
+            )

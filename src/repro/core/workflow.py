@@ -1,0 +1,300 @@
+"""The executable Figure 1: a complete deployment in one object.
+
+:class:`Deployment` assembles every box in the paper's architecture
+diagram — network controller with its northbound endpoints, forwarding
+plane, IAS, Verification Manager, an SGX-capable container host running
+IMA, containerized VNFs with their credential enclaves — on one simulated
+network with one virtual clock, and :meth:`Deployment.run_workflow`
+executes steps 1-6 for every VNF, returning the measured trace.
+
+Examples and benchmarks build on this class; its constructor knobs cover
+every experimental axis (TPM rooting, controller security modes, the
+keystore-vs-CA validation model, SGX cost parameters, fleet size).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.containers.host import ContainerHost
+from repro.containers.image import build_image
+from repro.containers.registry import Registry
+from repro.core.appraisal import ExpectedValues
+from repro.core.attestation_enclave import AttestationEnclave
+from repro.core.credential_enclave import CredentialEnclave, EnclaveBackedClient
+from repro.core.enrollment import EnrollmentSession, StepTiming
+from repro.core.host_agent import HostAgent, HostAgentClient
+from repro.core.policy import DeploymentPolicy
+from repro.core.verification_manager import VerificationManager
+from repro.crypto.keys import generate_keypair
+from repro.crypto.rng import HmacDrbg
+from repro.errors import VnfSgxError
+from repro.ias.api import IasClient, IasHttpService
+from repro.ias.service import IasService
+from repro.net.address import Address
+from repro.net.simnet import Network
+from repro.pki.keystore import Keystore
+from repro.pki.name import DistinguishedName
+from repro.sdn.controller import FloodlightController
+from repro.sdn.northbound import (
+    MODE_HTTP,
+    MODE_HTTPS,
+    MODE_TRUSTED,
+    NorthboundEndpoint,
+    keystore_validator,
+)
+from repro.sdn.switch import Switch
+from repro.sdn.vnf import VnfRestClient
+from repro.sgx.ecall import CostModel
+from repro.tls import TlsConfig
+
+CONTROLLER_HOST = "controller"
+IAS_ADDRESS = Address("ias.intel.example", 443)
+MODE_PORTS = {MODE_HTTP: 8080, MODE_HTTPS: 8443, MODE_TRUSTED: 9443}
+
+VALIDATION_CA = "ca"
+VALIDATION_KEYSTORE = "keystore"
+
+
+@dataclass
+class WorkflowTrace:
+    """Everything :meth:`Deployment.run_workflow` measured."""
+
+    per_vnf: Dict[str, List[StepTiming]] = field(default_factory=dict)
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    clock_charges: Dict[str, float] = field(default_factory=dict)
+
+    def step_totals(self) -> Dict[str, float]:
+        """Simulated seconds per workflow step, summed over VNFs."""
+        totals: Dict[str, float] = {}
+        for timings in self.per_vnf.values():
+            for timing in timings:
+                totals[timing.step] = (
+                    totals.get(timing.step, 0.0) + timing.simulated_seconds
+                )
+        return totals
+
+
+class Deployment:
+    """One fully wired SDN deployment (the paper's Figure 1).
+
+    Args:
+        seed: DRBG seed; equal seeds give bit-identical runs.
+        vnf_count: number of VNFs (the paper's figure shows two).
+        with_tpm: enable the TPM-rooted IMA configuration (paper §4).
+        modes: which northbound security modes to serve.
+        client_validation: ``"ca"`` (the paper's design) or ``"keystore"``
+            (stock Floodlight) for the trusted mode.
+        cost_model: SGX transition cost parameters.
+    """
+
+    def __init__(self, seed: bytes = b"vnf-sgx-deployment",
+                 vnf_count: int = 2, with_tpm: bool = False,
+                 modes: Tuple[str, ...] = (MODE_HTTP, MODE_HTTPS,
+                                           MODE_TRUSTED),
+                 client_validation: str = VALIDATION_CA,
+                 cost_model: Optional[CostModel] = None,
+                 host_count: int = 1) -> None:
+        if client_validation not in (VALIDATION_CA, VALIDATION_KEYSTORE):
+            raise VnfSgxError(
+                f"unknown validation model {client_validation!r}"
+            )
+        if host_count < 1:
+            raise VnfSgxError("need at least one container host")
+        self.rng = HmacDrbg(seed)
+        self.network = Network()
+        self.clock = self.network.clock
+        self.client_validation = client_validation
+
+        # --- Intel Attestation Service -------------------------------
+        self.ias = IasService(rng=self.rng, now=self.clock.now_seconds)
+        self.ias_http = IasHttpService(self.ias, self.network, IAS_ADDRESS,
+                                       rng=self.rng)
+        self.ias_client = IasClient(
+            self.network, IAS_ADDRESS, self.ias_http.ias_truststore,
+            self.ias.report_signing_public_key, rng=self.rng,
+        )
+
+        # --- Verification Manager ------------------------------------
+        self.expected_values = ExpectedValues()
+        self.policy = DeploymentPolicy(require_tpm=with_tpm)
+        self.vm = VerificationManager(
+            self.ias_client, self.policy, self.expected_values,
+            now=self.clock.now, rng=self.rng, clock=self.clock,
+        )
+
+        # --- Controller + forwarding plane ----------------------------
+        self.controller = FloodlightController()
+        switch_a, switch_b = Switch("00:00:01"), Switch("00:00:02")
+        self.controller.register_switch(switch_a)
+        self.controller.register_switch(switch_b)
+        self.controller.topology.add_link("00:00:01", 3, "00:00:02", 3)
+        self.controller.topology.attach_host("h1", "00:00:01", 1)
+        self.controller.topology.attach_host("h2", "00:00:02", 1)
+
+        server_key = generate_keypair(self.rng)
+        server_cert = self.vm.ca.issue_server_certificate(
+            DistinguishedName(CONTROLLER_HOST),
+            server_key.public.to_bytes(),
+            now=self.clock.now_seconds(),
+        )
+        self.keystore = Keystore()
+        self.endpoints: Dict[str, NorthboundEndpoint] = {}
+        for mode in modes:
+            address = Address(CONTROLLER_HOST, MODE_PORTS[mode])
+            tls_config = None
+            if mode != MODE_HTTP:
+                tls_config = TlsConfig(
+                    certificate_chain=[server_cert],
+                    private_key=server_key,
+                    truststore=self.vm.controller_truststore(),
+                    rng=self.rng,
+                    now=self.clock.now_seconds,
+                )
+                if (mode == MODE_TRUSTED
+                        and client_validation == VALIDATION_KEYSTORE):
+                    tls_config.client_validator = keystore_validator(
+                        self.keystore
+                    )
+                if mode == MODE_TRUSTED:
+                    self.vm.subscribe_crl(tls_config)
+            self.endpoints[mode] = NorthboundEndpoint(
+                self.controller, self.network, address, mode, tls_config
+            )
+
+        # --- Container hosts ------------------------------------------
+        self.vendor_key = generate_keypair(self.rng)
+        self.hosts: List[ContainerHost] = []
+        self.agents: Dict[str, HostAgent] = {}
+        self.agent_clients: Dict[str, HostAgentClient] = {}
+        self.attestation_enclaves: Dict[str, AttestationEnclave] = {}
+        for index in range(1, host_count + 1):
+            host = ContainerHost(
+                f"container-host-{index}", clock=self.clock, rng=self.rng,
+                with_tpm=with_tpm, cost_model=cost_model,
+            )
+            host.boot()
+            for path in host.filesystem.list_files():
+                self.expected_values.allow_content(
+                    path, host.filesystem.read_file(path)
+                )
+            self.ias.register_platform(host.platform)
+            if with_tpm:
+                self.vm.register_host_tpm(host.name, host.tpm.aik_public)
+            attestation = AttestationEnclave(host, self.vendor_key)
+            agent = HostAgent(host, attestation, self.network)
+            self.hosts.append(host)
+            self.attestation_enclaves[host.name] = attestation
+            self.agents[host.name] = agent
+            self.agent_clients[host.name] = HostAgentClient(
+                self.network, agent.address
+            )
+
+        # Single-host compatibility aliases (the common configuration).
+        self.host = self.hosts[0]
+        self.attestation_enclave = self.attestation_enclaves[self.host.name]
+        self.agent = self.agents[self.host.name]
+        self.agent_client = self.agent_clients[self.host.name]
+
+        # --- VNF containers and enclaves ------------------------------
+        self.registry = Registry()
+        self.vnf_names: List[str] = []
+        self.vnf_host: Dict[str, ContainerHost] = {}
+        self.credential_enclaves: Dict[str, CredentialEnclave] = {}
+        for index in range(1, vnf_count + 1):
+            vnf_name = f"vnf-{index}"
+            host = self.hosts[(index - 1) % host_count]
+            image = build_image(
+                vnf_name, "1.0",
+                {"/usr/bin/vnf": f"vnf-binary-{vnf_name}".encode()},
+            )
+            self.registry.push(image)
+            container = host.deploy(self.registry, image.reference,
+                                    labels={"vnf": vnf_name})
+            self.expected_values.allow_image(container.root_path, image)
+            enclave = CredentialEnclave(host, self.vendor_key,
+                                        self.network, vnf_name)
+            self.agents[host.name].register_vnf(enclave)
+            self.credential_enclaves[vnf_name] = enclave
+            self.vnf_names.append(vnf_name)
+            self.vnf_host[vnf_name] = host
+
+    # ------------------------------------------------------------ accessors
+
+    def controller_address(self, mode: str = MODE_TRUSTED) -> Address:
+        """The northbound address serving ``mode``."""
+        return Address(CONTROLLER_HOST, MODE_PORTS[mode])
+
+    def enclave_client(self, vnf_name: str) -> EnclaveBackedClient:
+        """The SGX-protected controller client of one VNF."""
+        return self.credential_enclaves[vnf_name].client
+
+    def baseline_client(self, mode: str = MODE_HTTPS,
+                        client_chain=None, client_key=None) -> VnfRestClient:
+        """An unprotected (no-enclave) client for comparison experiments."""
+        return VnfRestClient(
+            self.network, self.controller_address(mode), self.host.name,
+            mode, truststore=self.vm.controller_truststore(),
+            client_chain=client_chain, client_key=client_key, rng=self.rng,
+        )
+
+    # -------------------------------------------------------------- running
+
+    def enroll(self, vnf_name: str) -> EnrollmentSession:
+        """Run steps 1-6 for one VNF; returns the completed session."""
+        host = self.vnf_host[vnf_name]
+        session = EnrollmentSession(
+            vm=self.vm,
+            agent=self.agent_clients[host.name],
+            host_name=host.name,
+            vnf_name=vnf_name,
+            controller_address=str(self.controller_address(MODE_TRUSTED)),
+            sim_now=self.clock.now,
+        )
+        session.attest_host()
+        session.provision()
+        if self.client_validation == VALIDATION_KEYSTORE:
+            # Stock Floodlight: each new credential needs a keystore entry
+            # before the first connection; in CA mode this update simply
+            # never happens (the point of experiment E3).
+            self.keystore.add_trusted(
+                vnf_name, self.vm.issued_certificate(vnf_name)
+            )
+        session.connect(self.enclave_client(vnf_name))
+        return session
+
+    def run_workflow(self) -> WorkflowTrace:
+        """Execute the full Figure 1 workflow for every VNF."""
+        trace = WorkflowTrace()
+        sim_start = self.clock.now()
+        wall_start = time.perf_counter()
+        self.clock.reset_charges()
+        for vnf_name in self.vnf_names:
+            # Keystore mode must enrol before first connect; pre-add the
+            # certificate right after provisioning by splitting the steps.
+            host = self.vnf_host[vnf_name]
+            session = EnrollmentSession(
+                vm=self.vm,
+                agent=self.agent_clients[host.name],
+                host_name=host.name,
+                vnf_name=vnf_name,
+                controller_address=str(
+                    self.controller_address(MODE_TRUSTED)
+                ),
+                sim_now=self.clock.now,
+            )
+            session.attest_host()
+            session.provision()
+            if self.client_validation == VALIDATION_KEYSTORE:
+                self.keystore.add_trusted(
+                    vnf_name, self.vm.issued_certificate(vnf_name)
+                )
+            session.connect(self.enclave_client(vnf_name))
+            trace.per_vnf[vnf_name] = list(session.timings)
+        trace.simulated_seconds = self.clock.now() - sim_start
+        trace.wall_seconds = time.perf_counter() - wall_start
+        trace.clock_charges = self.clock.charges()
+        return trace

@@ -1,0 +1,29 @@
+"""Constant-time comparison helpers.
+
+Python cannot give true constant-time guarantees, but these helpers avoid the
+*data-dependent early exit* of ``==`` on bytes, which is the property the
+protocol code relies on (MAC and tag comparison).  They also serve as the
+single audited place where secret comparisons happen.
+"""
+
+from __future__ import annotations
+
+
+def ct_bytes_eq(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without a data-dependent early exit.
+
+    Returns ``False`` for length mismatches (length is not secret in any of
+    our protocols: MACs and tags have fixed sizes).
+    """
+    if len(a) != len(b):
+        return False
+    acc = 0
+    for x, y in zip(a, b):
+        acc |= x ^ y
+    return acc == 0
+
+
+def ct_select(cond: bool, when_true: int, when_false: int) -> int:
+    """Branch-free select between two integers based on ``cond``."""
+    mask = -int(bool(cond))  # 0 or -1 (all ones)
+    return (when_true & mask) | (when_false & ~mask)

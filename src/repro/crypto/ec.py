@@ -1,0 +1,178 @@
+"""NIST P-256 (secp256r1) group arithmetic.
+
+Scalar multiplication uses Jacobian coordinates with a simple
+double-and-add ladder; point validation rejects off-curve points and the
+identity, which is all the protocol layers above need.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from repro.errors import InvalidPoint
+
+
+class Point(NamedTuple):
+    """An affine curve point; ``None`` coordinates never appear here —
+    the point at infinity is represented by Python ``None`` at call sites."""
+
+    x: int
+    y: int
+
+
+class _Curve:
+    """Short-Weierstrass curve y^2 = x^3 + ax + b over GF(p)."""
+
+    def __init__(self, name: str, p: int, a: int, b: int,
+                 gx: int, gy: int, n: int) -> None:
+        self.name = name
+        self.p = p
+        self.a = a
+        self.b = b
+        self.generator = Point(gx, gy)
+        self.n = n  # group order
+        self.coordinate_size = (p.bit_length() + 7) // 8
+
+    # ------------------------------------------------------------- checks
+
+    def contains(self, point: Optional[Point]) -> bool:
+        """True if ``point`` is on the curve (infinity counts as on-curve)."""
+        if point is None:
+            return True
+        x, y = point
+        if not (0 <= x < self.p and 0 <= y < self.p):
+            return False
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    def validate_public(self, point: Optional[Point]) -> Point:
+        """Validate a public-key point: on-curve, not infinity, right order."""
+        if point is None:
+            raise InvalidPoint("public key is the point at infinity")
+        if not self.contains(point):
+            raise InvalidPoint(f"point {point} is not on {self.name}")
+        if self.multiply(self.n, point) is not None:
+            raise InvalidPoint("point has wrong order")
+        return point
+
+    # ------------------------------------------------------- group arithmetic
+
+    def _to_jacobian(self, point: Optional[Point]):
+        if point is None:
+            return (0, 1, 0)
+        return (point.x, point.y, 1)
+
+    def _from_jacobian(self, jac) -> Optional[Point]:
+        x, y, z = jac
+        if z == 0:
+            return None
+        p = self.p
+        z_inv = pow(z, p - 2, p)
+        z2 = z_inv * z_inv % p
+        return Point(x * z2 % p, y * z2 * z_inv % p)
+
+    def _jac_double(self, jac):
+        x1, y1, z1 = jac
+        p = self.p
+        if z1 == 0 or y1 == 0:
+            return (0, 1, 0)
+        ysq = y1 * y1 % p
+        s = 4 * x1 * ysq % p
+        m = (3 * x1 * x1 + self.a * pow(z1, 4, p)) % p
+        x3 = (m * m - 2 * s) % p
+        y3 = (m * (s - x3) - 8 * ysq * ysq) % p
+        z3 = 2 * y1 * z1 % p
+        return (x3, y3, z3)
+
+    def _jac_add(self, jac1, jac2):
+        p = self.p
+        x1, y1, z1 = jac1
+        x2, y2, z2 = jac2
+        if z1 == 0:
+            return jac2
+        if z2 == 0:
+            return jac1
+        z1z1 = z1 * z1 % p
+        z2z2 = z2 * z2 % p
+        u1 = x1 * z2z2 % p
+        u2 = x2 * z1z1 % p
+        s1 = y1 * z2z2 * z2 % p
+        s2 = y2 * z1z1 * z1 % p
+        if u1 == u2:
+            if s1 != s2:
+                return (0, 1, 0)  # inverses: P + (-P) = O
+            return self._jac_double(jac1)
+        h = (u2 - u1) % p
+        r = (s2 - s1) % p
+        h2 = h * h % p
+        h3 = h2 * h % p
+        u1h2 = u1 * h2 % p
+        x3 = (r * r - h3 - 2 * u1h2) % p
+        y3 = (r * (u1h2 - x3) - s1 * h3) % p
+        z3 = h * z1 * z2 % p
+        return (x3, y3, z3)
+
+    def add(self, p1: Optional[Point], p2: Optional[Point]) -> Optional[Point]:
+        """Group addition in affine terms."""
+        return self._from_jacobian(
+            self._jac_add(self._to_jacobian(p1), self._to_jacobian(p2))
+        )
+
+    def double(self, point: Optional[Point]) -> Optional[Point]:
+        """Point doubling in affine terms."""
+        return self._from_jacobian(self._jac_double(self._to_jacobian(point)))
+
+    def negate(self, point: Optional[Point]) -> Optional[Point]:
+        """Additive inverse of a point."""
+        if point is None:
+            return None
+        return Point(point.x, (-point.y) % self.p)
+
+    def multiply(self, k: int, point: Optional[Point]) -> Optional[Point]:
+        """Scalar multiplication ``k * point`` (left-to-right ladder)."""
+        k %= self.n
+        if k == 0 or point is None:
+            return None
+        acc = (0, 1, 0)
+        addend = self._to_jacobian(point)
+        while k:
+            if k & 1:
+                acc = self._jac_add(acc, addend)
+            addend = self._jac_double(addend)
+            k >>= 1
+        return self._from_jacobian(acc)
+
+    def multiply_generator(self, k: int) -> Optional[Point]:
+        """``k * G`` for the curve generator G."""
+        return self.multiply(k, self.generator)
+
+    # ------------------------------------------------------- serialization
+
+    def encode_point(self, point: Point) -> bytes:
+        """Uncompressed SEC1 encoding: ``04 || X || Y``."""
+        size = self.coordinate_size
+        return b"\x04" + point.x.to_bytes(size, "big") + point.y.to_bytes(size, "big")
+
+    def decode_point(self, data: bytes) -> Point:
+        """Parse and validate an uncompressed SEC1 point."""
+        size = self.coordinate_size
+        if len(data) != 1 + 2 * size or data[0] != 0x04:
+            raise InvalidPoint("expected uncompressed SEC1 point")
+        point = Point(
+            int.from_bytes(data[1:1 + size], "big"),
+            int.from_bytes(data[1 + size:], "big"),
+        )
+        if not self.contains(point):
+            raise InvalidPoint("decoded point is not on the curve")
+        return point
+
+
+# NIST P-256 domain parameters (FIPS 186-4, appendix D.1.2.3).
+P256 = _Curve(
+    name="P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFC,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)

@@ -1,0 +1,22 @@
+"""ECDH shared-secret derivation over P-256 (used by the TLS key exchange)."""
+
+from __future__ import annotations
+
+from repro.crypto.ec import P256, Point, _Curve
+from repro.errors import CryptoError, InvalidKey
+
+
+def ecdh_shared_secret(private_key: int, peer_public: Point,
+                       curve: _Curve = P256) -> bytes:
+    """Compute the X coordinate of ``private_key * peer_public``.
+
+    The peer's point is validated before use (off-curve / small-order points
+    are rejected), which is the textbook invalid-curve-attack defence.
+    """
+    if not 1 <= private_key < curve.n:
+        raise InvalidKey("private scalar out of range")
+    curve.validate_public(peer_public)
+    shared = curve.multiply(private_key, peer_public)
+    if shared is None:
+        raise CryptoError("ECDH produced the point at infinity")
+    return shared.x.to_bytes(curve.coordinate_size, "big")

@@ -1,0 +1,113 @@
+"""Byte/integer/text encoding helpers shared across the library.
+
+These are deliberately small, explicit functions: every protocol module that
+serializes integers or key material goes through here, which keeps endianness
+and padding rules in one place.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+_B64_ALPHABET = (
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+)
+_B64_REVERSE = {c: i for i, c in enumerate(_B64_ALPHABET)}
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Encode a non-negative integer big-endian into exactly ``length`` bytes."""
+    if value < 0:
+        raise EncodingError("cannot encode negative integer")
+    try:
+        return value.to_bytes(length, "big")
+    except OverflowError as exc:
+        raise EncodingError(f"{value} does not fit in {length} bytes") from exc
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Decode a big-endian byte string into a non-negative integer."""
+    return int.from_bytes(data, "big")
+
+
+def int_to_min_bytes(value: int) -> bytes:
+    """Encode a non-negative integer big-endian with no leading zero bytes."""
+    if value < 0:
+        raise EncodingError("cannot encode negative integer")
+    length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "big")
+
+
+def hex_encode(data: bytes) -> str:
+    """Lower-case hex representation of ``data``."""
+    return data.hex()
+
+
+def hex_decode(text: str) -> bytes:
+    """Decode a hex string, raising :class:`EncodingError` on malformed input."""
+    try:
+        return bytes.fromhex(text)
+    except ValueError as exc:
+        raise EncodingError(f"invalid hex: {text!r}") from exc
+
+
+def b64_encode(data: bytes) -> str:
+    """Standard base64 encoding, implemented here for self-containment."""
+    out = []
+    for i in range(0, len(data) - len(data) % 3, 3):
+        n = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2]
+        out.append(_B64_ALPHABET[(n >> 18) & 63])
+        out.append(_B64_ALPHABET[(n >> 12) & 63])
+        out.append(_B64_ALPHABET[(n >> 6) & 63])
+        out.append(_B64_ALPHABET[n & 63])
+    rem = len(data) % 3
+    if rem == 1:
+        n = data[-1] << 16
+        out.append(_B64_ALPHABET[(n >> 18) & 63])
+        out.append(_B64_ALPHABET[(n >> 12) & 63])
+        out.append("==")
+    elif rem == 2:
+        n = (data[-2] << 16) | (data[-1] << 8)
+        out.append(_B64_ALPHABET[(n >> 18) & 63])
+        out.append(_B64_ALPHABET[(n >> 12) & 63])
+        out.append(_B64_ALPHABET[(n >> 6) & 63])
+        out.append("=")
+    return "".join(out)
+
+
+def b64_decode(text: str) -> bytes:
+    """Decode standard base64, raising :class:`EncodingError` on bad input."""
+    if len(text) % 4 != 0:
+        raise EncodingError("base64 length not a multiple of 4")
+    padding = 0
+    if text.endswith("=="):
+        padding = 2
+    elif text.endswith("="):
+        padding = 1
+    body = text[: len(text) - padding] if padding else text
+    out = bytearray()
+    try:
+        values = [_B64_REVERSE[c] for c in body]
+    except KeyError as exc:
+        raise EncodingError(f"invalid base64 character: {exc.args[0]!r}") from exc
+    for i in range(0, len(values) - len(values) % 4, 4):
+        n = (values[i] << 18) | (values[i + 1] << 12) | (values[i + 2] << 6) | values[i + 3]
+        out += bytes(((n >> 16) & 255, (n >> 8) & 255, n & 255))
+    rem = len(values) % 4
+    if rem == 2:
+        n = (values[-2] << 18) | (values[-1] << 12)
+        out.append((n >> 16) & 255)
+    elif rem == 3:
+        n = (values[-3] << 18) | (values[-2] << 12) | (values[-1] << 6)
+        out.append((n >> 16) & 255)
+        out.append((n >> 8) & 255)
+    elif rem == 1:
+        raise EncodingError("truncated base64")
+    return bytes(out)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise EncodingError("xor_bytes length mismatch")
+    return bytes(x ^ y for x, y in zip(a, b))

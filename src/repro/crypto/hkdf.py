@@ -1,0 +1,41 @@
+"""HKDF (RFC 5869) over HMAC-SHA256.
+
+Used for sealing-key derivation in the SGX model and for credential transport
+keys in the provisioning protocol.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.sha256 import DIGEST_SIZE
+from repro.errors import CryptoError
+
+_MAX_OUTPUT = 255 * DIGEST_SIZE
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract a pseudorandom key from input keying material ``ikm``."""
+    if not salt:
+        salt = b"\x00" * DIGEST_SIZE
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand pseudorandom key ``prk`` into ``length`` output bytes."""
+    if length <= 0:
+        raise CryptoError("HKDF output length must be positive")
+    if length > _MAX_OUTPUT:
+        raise CryptoError(f"HKDF output too long: {length} > {_MAX_OUTPUT}")
+    blocks = []
+    block = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        block = hmac_sha256(prk, block + info + bytes([counter]))
+        blocks.append(block)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(ikm: bytes, salt: bytes, info: bytes, length: int) -> bytes:
+    """One-shot extract-then-expand."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

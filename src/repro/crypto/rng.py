@@ -1,0 +1,102 @@
+"""HMAC-DRBG (NIST SP 800-90A) and the library's randomness policy.
+
+Every component that needs randomness takes an explicit RNG argument; the
+default is a process-wide HMAC-DRBG seeded from ``os.urandom``.  Simulations
+and tests construct their own DRBG from a fixed seed, which makes entire
+end-to-end runs bit-reproducible — a property the benchmark harness relies
+on.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.crypto.hmac import hmac_sha256
+from repro.errors import EntropyError
+
+_RESEED_INTERVAL = 1 << 32
+
+
+class HmacDrbg:
+    """Deterministic random bit generator per SP 800-90A (HMAC variant).
+
+    Args:
+        seed: entropy input; any length (tests use short fixed strings).
+        personalization: optional domain-separation string.
+    """
+
+    def __init__(self, seed: bytes, personalization: bytes = b"") -> None:
+        if not seed:
+            raise EntropyError("HMAC-DRBG requires a non-empty seed")
+        self._key = b"\x00" * 32
+        self._value = b"\x01" * 32
+        self._reseed_counter = 1
+        self._lock = threading.Lock()
+        self._update(seed + personalization)
+
+    def _update(self, provided: bytes) -> None:
+        self._key = hmac_sha256(self._key, self._value + b"\x00" + provided)
+        self._value = hmac_sha256(self._key, self._value)
+        if provided:
+            self._key = hmac_sha256(self._key, self._value + b"\x01" + provided)
+            self._value = hmac_sha256(self._key, self._value)
+
+    def reseed(self, entropy: bytes) -> None:
+        """Mix fresh entropy into the generator state."""
+        if not entropy:
+            raise EntropyError("reseed requires non-empty entropy")
+        with self._lock:
+            self._update(entropy)
+            self._reseed_counter = 1
+
+    def random_bytes(self, length: int) -> bytes:
+        """Generate ``length`` pseudorandom bytes."""
+        if length < 0:
+            raise EntropyError("negative length")
+        with self._lock:
+            if self._reseed_counter > _RESEED_INTERVAL:
+                raise EntropyError("DRBG reseed interval exceeded")
+            out = b""
+            while len(out) < length:
+                self._value = hmac_sha256(self._key, self._value)
+                out += self._value
+            self._update(b"")
+            self._reseed_counter += 1
+        return out[:length]
+
+    def random_int(self, upper: int) -> int:
+        """Uniform integer in ``[0, upper)`` via rejection sampling."""
+        if upper <= 0:
+            raise EntropyError("upper bound must be positive")
+        n_bytes = (upper.bit_length() + 7) // 8
+        while True:
+            candidate = int.from_bytes(self.random_bytes(n_bytes), "big")
+            # Trim excess high bits, then reject out-of-range values.
+            candidate >>= max(0, n_bytes * 8 - upper.bit_length())
+            if candidate < upper:
+                return candidate
+
+    def random_scalar(self, order: int) -> int:
+        """Uniform integer in ``[1, order)`` — an EC private scalar."""
+        return 1 + self.random_int(order - 1)
+
+
+_default_rng = None
+_default_lock = threading.Lock()
+
+
+def default_rng() -> HmacDrbg:
+    """Process-wide DRBG, lazily seeded from the OS entropy pool."""
+    global _default_rng
+    with _default_lock:
+        if _default_rng is None:
+            _default_rng = HmacDrbg(os.urandom(48), b"repro-default-rng")
+        return _default_rng
+
+
+def set_default_rng(rng: HmacDrbg) -> None:
+    """Replace the process-wide DRBG (used by deterministic simulations)."""
+    global _default_rng
+    with _default_lock:
+        _default_rng = rng

@@ -1,0 +1,28 @@
+"""The Intel Attestation Service model.
+
+Workflow steps 2 and 4 of the paper's Figure 1: the Verification Manager
+submits enclave quotes to IAS, which verifies the EPID group signature,
+checks the platform against its revocation lists, and returns a signed
+Attestation Verification Report (AVR).
+
+- :mod:`repro.ias.service` — the service core: EPID group management,
+  platform registration, quote verification, revocation.
+- :mod:`repro.ias.revocation_lists` — PrivRL / SigRL semantics.
+- :mod:`repro.ias.report` — signed AVRs.
+- :mod:`repro.ias.api` — the REST/TLS binding on the simulated network.
+"""
+
+from repro.ias.service import IasService, QuoteStatus
+from repro.ias.report import AttestationVerificationReport
+from repro.ias.revocation_lists import PrivRl, SigRl
+from repro.ias.api import IasHttpService, IasClient
+
+__all__ = [
+    "IasService",
+    "QuoteStatus",
+    "AttestationVerificationReport",
+    "PrivRl",
+    "SigRl",
+    "IasHttpService",
+    "IasClient",
+]

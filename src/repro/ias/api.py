@@ -1,0 +1,148 @@
+"""The IAS REST binding: HTTPS endpoint + client.
+
+The paper's Verification Manager "contacts the Intel Attestation Service
+using the protocol provided by the SGX implementation"; the real service is
+an HTTPS API.  :class:`IasHttpService` exposes
+``POST /attestation/v4/report`` (quote in, AVR out) and
+``GET /attestation/v4/sigrl`` on the simulated network over server-
+authenticated TLS; :class:`IasClient` is the relying-party stub.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.crypto.keys import EcPublicKey, generate_keypair
+from repro.crypto.rng import HmacDrbg
+from repro.errors import IasError
+from repro.ias.report import AttestationVerificationReport
+from repro.ias.service import IasService
+from repro.net.address import Address
+from repro.net.rest import HttpParser, HttpRequest, HttpResponse, RestServer
+from repro.net.simnet import Network
+from repro.pki.ca import CertificateAuthority
+from repro.pki.name import DistinguishedName
+from repro.pki.truststore import Truststore
+from repro.tls import TlsClient, TlsConfig, TlsServer
+
+REPORT_PATH = "/attestation/v4/report"
+SIGRL_PATH = "/attestation/v4/sigrl"
+
+
+class IasHttpService:
+    """Serves an :class:`IasService` over HTTPS on the simulated network."""
+
+    def __init__(self, service: IasService, network: Network,
+                 address: Address, rng: Optional[HmacDrbg] = None) -> None:
+        self.service = service
+        self.address = address
+        # IAS runs its own private CA for its HTTPS endpoint; relying
+        # parties get the CA certificate out of band (ias_truststore).
+        self._ca = CertificateAuthority(
+            DistinguishedName("IAS-Root", "Intel-model"),
+            now=network.clock.now_seconds(), rng=rng,
+        )
+        server_key = generate_keypair(rng)
+        server_cert = self._ca.issue_server_certificate(
+            DistinguishedName(address.host), server_key.public.to_bytes(),
+            now=network.clock.now_seconds(),
+        )
+        self._rest = RestServer()
+        self._rest.route("POST", REPORT_PATH, self._handle_report)
+        self._rest.route("GET", SIGRL_PATH, self._handle_sigrl)
+        tls_config = TlsConfig(
+            certificate_chain=[server_cert],
+            private_key=server_key,
+            rng=rng,
+            now=network.clock.now_seconds,
+        )
+        self._tls = TlsServer(tls_config)
+        network.listen(address, self._accept)
+
+    @property
+    def ias_truststore(self) -> Truststore:
+        """Anchors for connecting to this IAS endpoint."""
+        return Truststore([self._ca.certificate])
+
+    # ------------------------------------------------------------ handlers
+
+    def _accept(self, channel) -> None:
+        parser = HttpParser(is_server_side=True)
+
+        def on_data(conn) -> None:
+            for request in parser.feed(conn.recv_available()):
+                conn.send(self._rest.dispatch(request).encode())
+
+        self._tls.accept(channel, on_data=on_data)
+
+    def _handle_report(self, request: HttpRequest) -> HttpResponse:
+        try:
+            body = json.loads(request.body.decode("utf-8"))
+            quote_bytes = bytes.fromhex(body["isvEnclaveQuote"])
+            nonce = body.get("nonce", "")
+        except (ValueError, KeyError) as exc:
+            return HttpResponse(400, body=f"bad request: {exc}".encode())
+        avr = self.service.verify_quote(quote_bytes, nonce)
+        return HttpResponse(200, headers={"content-type": "application/json"},
+                            body=avr.to_json())
+
+    def _handle_sigrl(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse(200, body=self.service.sig_rl.to_bytes().hex().encode())
+
+
+class IasClient:
+    """Relying-party stub used by the Verification Manager."""
+
+    def __init__(self, network: Network, address: Address,
+                 ias_truststore: Truststore,
+                 report_signing_key: EcPublicKey,
+                 source_host: str = "verification-manager",
+                 rng: Optional[HmacDrbg] = None) -> None:
+        self._network = network
+        self._address = address
+        self._report_signing_key = report_signing_key
+        self._source_host = source_host
+        self._tls_client = TlsClient(TlsConfig(
+            truststore=ias_truststore,
+            rng=rng,
+            now=network.clock.now_seconds,
+        ))
+
+    def verify_quote(self, quote_bytes: bytes,
+                     nonce: str = "") -> AttestationVerificationReport:
+        """Submit a quote; returns the AVR after checking its signature.
+
+        Raises:
+            IasError: transport failure, malformed AVR, bad AVR signature,
+                or nonce mismatch.
+        """
+        channel = self._network.connect(self._source_host, self._address)
+        conn = self._tls_client.connect(channel, server_name=str(self._address))
+        try:
+            payload = json.dumps({
+                "isvEnclaveQuote": quote_bytes.hex(),
+                "nonce": nonce,
+            }).encode("utf-8")
+            conn.send(HttpRequest(
+                "POST", REPORT_PATH,
+                headers={"content-type": "application/json"},
+                body=payload,
+            ).encode())
+            parser = HttpParser(is_server_side=False)
+            responses = parser.feed(conn.recv_available())
+            if not responses:
+                raise IasError("no response from IAS")
+            response = responses[0]
+            if response.status != 200:
+                raise IasError(
+                    f"IAS returned {response.status}: "
+                    f"{response.body.decode(errors='replace')}"
+                )
+            avr = AttestationVerificationReport.from_json(response.body)
+            avr.verify(self._report_signing_key)
+            if nonce and avr.nonce != nonce:
+                raise IasError("AVR nonce mismatch (replayed verdict?)")
+            return avr
+        finally:
+            conn.close()

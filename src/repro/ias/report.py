@@ -1,0 +1,105 @@
+"""Attestation Verification Reports — IAS's signed verdicts.
+
+Relying parties (the Verification Manager) trust AVRs because they are
+signed with the IAS report-signing key, whose certificate ships out of
+band; the quote body is echoed so the verdict is bound to what was asked.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.crypto.keys import EcPrivateKey, EcPublicKey
+from repro.errors import IasError
+
+
+@dataclass(frozen=True)
+class AttestationVerificationReport:
+    """One signed verdict about one quote."""
+
+    report_id: str
+    timestamp: int
+    quote_status: str
+    isv_enclave_quote_body: str  # hex of the quote body the verdict covers
+    nonce: str
+    signature: bytes = b""
+
+    def body_json(self) -> bytes:
+        """Canonical JSON of the signed portion."""
+        return json.dumps(
+            {
+                "id": self.report_id,
+                "timestamp": self.timestamp,
+                "isvEnclaveQuoteStatus": self.quote_status,
+                "isvEnclaveQuoteBody": self.isv_enclave_quote_body,
+                "nonce": self.nonce,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    def to_json(self) -> bytes:
+        """Full serialized report, signature included."""
+        return json.dumps(
+            {
+                "id": self.report_id,
+                "timestamp": self.timestamp,
+                "isvEnclaveQuoteStatus": self.quote_status,
+                "isvEnclaveQuoteBody": self.isv_enclave_quote_body,
+                "nonce": self.nonce,
+                "signature": self.signature.hex(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def from_json(cls, data: bytes) -> "AttestationVerificationReport":
+        """Parse a serialized report."""
+        try:
+            obj = json.loads(data.decode("utf-8"))
+            return cls(
+                report_id=obj["id"],
+                timestamp=obj["timestamp"],
+                quote_status=obj["isvEnclaveQuoteStatus"],
+                isv_enclave_quote_body=obj["isvEnclaveQuoteBody"],
+                nonce=obj["nonce"],
+                signature=bytes.fromhex(obj["signature"]),
+            )
+        except (KeyError, ValueError, json.JSONDecodeError) as exc:
+            raise IasError(f"malformed AVR: {exc}") from exc
+
+    def verify(self, ias_public_key: EcPublicKey) -> None:
+        """Check the IAS report-signing signature.
+
+        Raises:
+            repro.errors.InvalidSignature: on failure.
+        """
+        ias_public_key.verify(self.body_json(), self.signature)
+
+    @property
+    def ok(self) -> bool:
+        """True for an unqualified positive verdict."""
+        return self.quote_status == "OK"
+
+
+def sign_report(key: EcPrivateKey, report_id: str, timestamp: int,
+                quote_status: str, quote_body_hex: str,
+                nonce: str) -> AttestationVerificationReport:
+    """Build and sign an AVR."""
+    unsigned = AttestationVerificationReport(
+        report_id=report_id,
+        timestamp=timestamp,
+        quote_status=quote_status,
+        isv_enclave_quote_body=quote_body_hex,
+        nonce=nonce,
+    )
+    return AttestationVerificationReport(
+        report_id=report_id,
+        timestamp=timestamp,
+        quote_status=quote_status,
+        isv_enclave_quote_body=quote_body_hex,
+        nonce=nonce,
+        signature=key.sign(unsigned.body_json()),
+    )

@@ -1,0 +1,106 @@
+"""EPID revocation lists.
+
+Two mechanisms, mirroring real EPID:
+
+- **PrivRL** — revoked member *keys*.  Checking a signature against a
+  PrivRL is inherently linear: for each revoked key the verifier re-derives
+  what that key's pseudonym would have been under the signature's basename
+  and compares.  Experiment E6's linear cost curve comes from here.
+- **SigRL** — revoked *signatures*, stored as ``(basename, pseudonym)``
+  pairs.  A signer is caught only when signing under the same basename —
+  the standard EPID linkability caveat, which is why the Verification
+  Manager pins one basename per deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.crypto.constant_time import ct_bytes_eq
+from repro.pki import der
+from repro.sgx.epid import EpidSignature, pseudonym
+
+
+@dataclass
+class PrivRl:
+    """Private-key revocation list."""
+
+    version: int = 0
+    revoked_member_ids: List[bytes] = field(default_factory=list)
+
+    def add(self, member_id: bytes) -> None:
+        """Revoke a member key."""
+        if member_id not in self.revoked_member_ids:
+            self.revoked_member_ids.append(member_id)
+            self.version += 1
+
+    def matches(self, signature: EpidSignature,
+                derive_member_secret: Callable[[bytes], bytes]) -> Optional[bytes]:
+        """Return the revoked member id that produced ``signature``, if any.
+
+        ``derive_member_secret`` is the group manager's derivation; the
+        check is linear in the list size by construction.
+        """
+        for member_id in self.revoked_member_ids:
+            secret = derive_member_secret(member_id)
+            candidate = pseudonym(secret, signature.basename)
+            if ct_bytes_eq(candidate, signature.pseudonym):
+                return member_id
+        return None
+
+    def to_bytes(self) -> bytes:
+        """Serialized list."""
+        return der.encode([self.version, list(self.revoked_member_ids)])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PrivRl":
+        """Parse a serialized list."""
+        version, ids = der.decode(data)
+        return cls(version=version, revoked_member_ids=list(ids))
+
+    def __len__(self) -> int:
+        return len(self.revoked_member_ids)
+
+
+@dataclass
+class SigRl:
+    """Signature revocation list: ``(basename, pseudonym)`` pairs."""
+
+    version: int = 0
+    entries: List[Tuple[bytes, bytes]] = field(default_factory=list)
+
+    def add(self, signature: EpidSignature) -> None:
+        """Revoke everything linkable to ``signature`` under its basename."""
+        entry = (signature.basename, signature.pseudonym)
+        if entry not in self.entries:
+            self.entries.append(entry)
+            self.version += 1
+
+    def matches(self, signature: EpidSignature) -> bool:
+        """True if the signature links to a revoked one (same basename)."""
+        hit = False
+        for basename, revoked_pseudonym in self.entries:
+            # Constant-shape scan: cost stays linear in the list size.
+            same = basename == signature.basename and ct_bytes_eq(
+                revoked_pseudonym, signature.pseudonym
+            )
+            hit = hit or same
+        return hit
+
+    def to_bytes(self) -> bytes:
+        """Serialized list."""
+        return der.encode([
+            self.version,
+            [[basename, pseudo] for basename, pseudo in self.entries],
+        ])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SigRl":
+        """Parse a serialized list."""
+        version, raw = der.decode(data)
+        return cls(version=version,
+                   entries=[(entry[0], entry[1]) for entry in raw])
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,31 @@
+"""A model of the Linux Integrity Measurement Architecture (IMA).
+
+The paper's integrity attestation enclave ships the host's *integrity
+measurement list* (IML) to the Verification Manager inside a quote.  This
+subpackage produces that list the way the kernel does: an administrator
+policy selects which files are measured
+(:mod:`repro.ima.policy`), a measurement agent hashes them on access
+(:mod:`repro.ima.measure`), and each measurement appends an ``ima-ng``
+template entry to the IML while extending a PCR-10-style aggregate
+(:mod:`repro.ima.iml`, :mod:`repro.ima.pcr`).
+
+The aggregate can optionally be anchored in a :mod:`repro.tpm` device —
+the paper's future-work item — which is what makes log rewriting by a
+root-level adversary detectable (experiment E7).
+"""
+
+from repro.ima.filesystem import SimulatedFilesystem
+from repro.ima.policy import ImaPolicy, PolicyRule
+from repro.ima.iml import ImaEntry, MeasurementList
+from repro.ima.pcr import Pcr
+from repro.ima.measure import MeasurementAgent
+
+__all__ = [
+    "SimulatedFilesystem",
+    "ImaPolicy",
+    "PolicyRule",
+    "ImaEntry",
+    "MeasurementList",
+    "Pcr",
+    "MeasurementAgent",
+]

@@ -1,0 +1,64 @@
+"""A simulated filesystem for container hosts.
+
+Holds the files IMA measures: the OS's binaries, the container runtime,
+and the layers of deployed container images.  The mutation API is
+deliberately unrestricted — modelling a root-level adversary *is* the
+threat model of the paper's future-work section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import ImaError
+
+
+class SimulatedFilesystem:
+    """Path -> content store with mtime-style generation counters."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, bytes] = {}
+        self._generation: Dict[str, int] = {}
+
+    def write_file(self, path: str, content: bytes) -> None:
+        """Create or overwrite a file."""
+        if not path.startswith("/"):
+            raise ImaError(f"paths must be absolute: {path!r}")
+        self._files[path] = bytes(content)
+        self._generation[path] = self._generation.get(path, 0) + 1
+
+    def read_file(self, path: str) -> bytes:
+        """Read a file's content."""
+        try:
+            return self._files[path]
+        except KeyError as exc:
+            raise ImaError(f"no such file: {path}") from exc
+
+    def delete_file(self, path: str) -> None:
+        """Remove a file."""
+        if path not in self._files:
+            raise ImaError(f"no such file: {path}")
+        del self._files[path]
+        self._generation.pop(path, None)
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` exists."""
+        return path in self._files
+
+    def generation(self, path: str) -> int:
+        """Write-generation counter (0 for non-existent files)."""
+        return self._generation.get(path, 0)
+
+    def list_files(self, prefix: str = "/") -> List[str]:
+        """All paths under ``prefix``, sorted."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def walk(self) -> Iterator[str]:
+        """Iterate all paths in sorted order."""
+        return iter(self.list_files())
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._files

@@ -1,0 +1,165 @@
+"""The integrity measurement list (IML) and its ``ima-ng`` entries.
+
+Each measured file contributes one entry; the entry's template hash extends
+the PCR-10 aggregate.  The list itself lives in kernel memory, i.e. *host
+memory* — exactly why the paper's future work wants it rooted in a TPM.
+The mutation methods (:meth:`MeasurementList.replace_entry`,
+:meth:`MeasurementList.remove_entry`, :meth:`MeasurementList.rewrite`)
+model that adversary and are exercised by experiments E2 and E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.crypto.sha256 import sha256
+from repro.errors import ImaError
+from repro.ima.pcr import Pcr
+from repro.pki import der
+
+TEMPLATE_IMA_NG = "ima-ng"
+BOOT_AGGREGATE_PATH = "boot_aggregate"
+
+# The kernel records a measurement *violation* (ToMToU / open-writers: the
+# file changed while it was being measured) with an all-zero digest.
+VIOLATION_HASH = b"\x00" * 32
+
+
+@dataclass(frozen=True)
+class ImaEntry:
+    """One ``ima-ng`` measurement: file hash + path, in PCR 10."""
+
+    pcr_index: int
+    file_hash: bytes
+    path: str
+    template: str = TEMPLATE_IMA_NG
+
+    def template_hash(self) -> bytes:
+        """The digest extended into the PCR for this entry."""
+        return sha256(
+            self.template.encode("utf-8")
+            + b"\x00"
+            + self.file_hash
+            + self.path.encode("utf-8")
+        )
+
+    def to_list(self) -> list:
+        """Canonical list form for serialization."""
+        return [self.pcr_index, self.file_hash, self.path, self.template]
+
+    @classmethod
+    def from_list(cls, items: list) -> "ImaEntry":
+        """Rebuild from the canonical list form."""
+        if len(items) != 4:
+            raise ImaError("malformed IML entry")
+        return cls(pcr_index=items[0], file_hash=items[1], path=items[2],
+                   template=items[3])
+
+
+class MeasurementList:
+    """The ordered IML plus its live PCR aggregate."""
+
+    def __init__(self) -> None:
+        self._entries: List[ImaEntry] = []
+        self._pcr = Pcr()
+
+    # ----------------------------------------------------------- honest API
+
+    def append(self, entry: ImaEntry) -> None:
+        """Append a measurement and extend the aggregate (kernel path)."""
+        self._entries.append(entry)
+        self._pcr.extend(entry.template_hash())
+
+    def boot_aggregate(self, boot_digest: bytes) -> ImaEntry:
+        """Create and append the canonical first entry."""
+        if self._entries:
+            raise ImaError("boot_aggregate must be the first IML entry")
+        entry = ImaEntry(pcr_index=10, file_hash=boot_digest,
+                         path=BOOT_AGGREGATE_PATH)
+        self.append(entry)
+        return entry
+
+    @property
+    def entries(self) -> List[ImaEntry]:
+        """The entries, in measurement order."""
+        return list(self._entries)
+
+    def aggregate(self) -> bytes:
+        """The live PCR-10 value."""
+        return self._pcr.read()
+
+    @staticmethod
+    def compute_aggregate(entries: List[ImaEntry]) -> bytes:
+        """Recompute the aggregate an entry list *should* produce.
+
+        Appraisal uses this to check internal consistency of a shipped
+        list, and the TPM comparison uses it against the quoted PCR.
+        """
+        pcr = Pcr()
+        for entry in entries:
+            pcr.extend(entry.template_hash())
+        return pcr.read()
+
+    def find(self, path: str) -> Optional[ImaEntry]:
+        """Most recent entry for ``path``."""
+        for entry in reversed(self._entries):
+            if entry.path == path:
+                return entry
+        return None
+
+    # -------------------------------------------------------- serialization
+
+    def to_bytes(self) -> bytes:
+        """Serialize the full list (what travels inside the quote)."""
+        return der.encode([entry.to_list() for entry in self._entries])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MeasurementList":
+        """Parse a serialized list, rebuilding the aggregate honestly."""
+        iml = cls()
+        for raw in der.decode(data):
+            iml.append(ImaEntry.from_list(raw))
+        return iml
+
+    # ------------------------------------------------- adversarial mutation
+
+    def replace_entry(self, path: str, new_file_hash: bytes) -> None:
+        """Root adversary: rewrite the recorded hash for ``path`` in place.
+
+        The PCR aggregate is *not* recomputed — hardware PCRs cannot be
+        rewound — so the list becomes internally inconsistent... unless the
+        adversary also calls :meth:`rewrite`, which is exactly the attack
+        a TPM defeats.
+        """
+        for index, entry in enumerate(self._entries):
+            if entry.path == path:
+                self._entries[index] = ImaEntry(
+                    pcr_index=entry.pcr_index,
+                    file_hash=new_file_hash,
+                    path=entry.path,
+                    template=entry.template,
+                )
+                return
+        raise ImaError(f"no IML entry for {path}")
+
+    def remove_entry(self, path: str) -> None:
+        """Root adversary: delete a measurement from the list."""
+        remaining = [e for e in self._entries if e.path != path]
+        if len(remaining) == len(self._entries):
+            raise ImaError(f"no IML entry for {path}")
+        self._entries = remaining
+
+    def rewrite(self) -> None:
+        """Root adversary: recompute the *software* aggregate so the list
+        looks internally consistent again.  Only an authenticated hardware
+        root of trust (the TPM) reveals this happened."""
+        self._pcr.reset()
+        for entry in self._entries:
+            self._pcr.extend(entry.template_hash())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ImaEntry]:
+        return iter(self._entries)

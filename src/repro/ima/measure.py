@@ -1,0 +1,104 @@
+"""The measurement agent: the kernel-side half of IMA.
+
+Measures policy-selected files into the IML (and, when a TPM is attached,
+into the hardware PCR as well).  Files are re-measured when their content
+generation changes, mirroring the kernel's measure-on-open semantics
+without measuring unchanged files twice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.crypto.sha256 import sha256
+from repro.ima.filesystem import SimulatedFilesystem
+from repro.ima.iml import ImaEntry, MeasurementList
+from repro.ima.policy import ImaPolicy
+
+IMA_PCR_INDEX = 10
+
+
+class MeasurementAgent:
+    """Applies an :class:`ImaPolicy` to a filesystem, producing the IML.
+
+    Args:
+        filesystem: the host filesystem to measure.
+        policy: measurement policy.
+        tpm: optional :class:`repro.tpm.TpmDevice`; when present every
+            template hash is also extended into the hardware PCR 10 —
+            the paper's future-work configuration.
+    """
+
+    def __init__(self, filesystem: SimulatedFilesystem, policy: ImaPolicy,
+                 tpm=None) -> None:
+        self.filesystem = filesystem
+        self.policy = policy
+        self.iml = MeasurementList()
+        self._tpm = tpm
+        self._measured_generation: Dict[str, int] = {}
+        boot_digest = sha256(b"boot-aggregate|kernel+initrd")
+        entry = self.iml.boot_aggregate(boot_digest)
+        self._extend_tpm(entry)
+
+    def _extend_tpm(self, entry: ImaEntry) -> None:
+        if self._tpm is not None:
+            self._tpm.extend(IMA_PCR_INDEX, entry.template_hash())
+
+    # ----------------------------------------------------------- measuring
+
+    def measure_file(self, path: str) -> Optional[ImaEntry]:
+        """Measure one file if the policy selects it and it changed.
+
+        Returns the new entry, or ``None`` when nothing was recorded.
+        """
+        if not self.policy.should_measure(path):
+            return None
+        generation = self.filesystem.generation(path)
+        if self._measured_generation.get(path) == generation:
+            return None  # unchanged since last measurement
+        content = self.filesystem.read_file(path)
+        entry = ImaEntry(
+            pcr_index=IMA_PCR_INDEX,
+            file_hash=sha256(content),
+            path=path,
+        )
+        self.iml.append(entry)
+        self._extend_tpm(entry)
+        self._measured_generation[path] = generation
+        return entry
+
+    def measure_all(self) -> List[ImaEntry]:
+        """Sweep the filesystem (boot-time measurement pass)."""
+        appended = []
+        for path in self.filesystem.walk():
+            entry = self.measure_file(path)
+            if entry is not None:
+                appended.append(entry)
+        return appended
+
+    def on_file_accessed(self, path: str) -> Optional[ImaEntry]:
+        """Hook invoked by the host when a file is opened/executed."""
+        return self.measure_file(path)
+
+    def record_violation(self, path: str) -> ImaEntry:
+        """Record a measurement violation (ToMToU / open-writers).
+
+        The kernel cannot produce a stable hash for a file that is being
+        written while measured, so it logs an all-zero digest instead —
+        which appraisal treats as disqualifying, because the verifier can
+        no longer say *what* ran.
+        """
+        from repro.ima.iml import VIOLATION_HASH
+
+        entry = ImaEntry(pcr_index=IMA_PCR_INDEX, file_hash=VIOLATION_HASH,
+                         path=path)
+        self.iml.append(entry)
+        self._extend_tpm(entry)
+        # Force a re-measure on next access: the content is unknown now.
+        self._measured_generation.pop(path, None)
+        return entry
+
+    @property
+    def tpm_anchored(self) -> bool:
+        """True when measurements also extend a hardware TPM."""
+        return self._tpm is not None

@@ -1,0 +1,38 @@
+"""A software PCR: the extend-only accumulator IMA aggregates into."""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import sha256
+
+PCR_SIZE = 32
+INITIAL_VALUE = b"\x00" * PCR_SIZE
+
+
+class Pcr:
+    """One platform configuration register (SHA-256 bank)."""
+
+    def __init__(self) -> None:
+        self._value = INITIAL_VALUE
+        self._extends = 0
+
+    def extend(self, digest: bytes) -> bytes:
+        """``PCR := SHA-256(PCR || digest)``; returns the new value."""
+        if len(digest) != PCR_SIZE:
+            raise ValueError(f"PCR extend requires a {PCR_SIZE}-byte digest")
+        self._value = sha256(self._value + digest)
+        self._extends += 1
+        return self._value
+
+    def read(self) -> bytes:
+        """Current register value."""
+        return self._value
+
+    @property
+    def extend_count(self) -> int:
+        """Number of extends since reset."""
+        return self._extends
+
+    def reset(self) -> None:
+        """Reboot semantics: back to the initial value."""
+        self._value = INITIAL_VALUE
+        self._extends = 0

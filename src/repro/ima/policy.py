@@ -1,0 +1,108 @@
+"""IMA measurement policy.
+
+"The measurement targets are configured by the administrator in a policy
+file" (paper, section 2).  The rule grammar here is a working subset of the
+kernel's: ``measure``/``dont_measure`` actions with path-prefix, suffix or
+exact matches, first rule wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import PolicyError
+
+ACTION_MEASURE = "measure"
+ACTION_DONT_MEASURE = "dont_measure"
+
+MATCH_PREFIX = "prefix"
+MATCH_SUFFIX = "suffix"
+MATCH_EXACT = "exact"
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One policy rule: action + path predicate."""
+
+    action: str
+    match: str
+    pattern: str
+
+    def __post_init__(self) -> None:
+        if self.action not in (ACTION_MEASURE, ACTION_DONT_MEASURE):
+            raise PolicyError(f"unknown action {self.action!r}")
+        if self.match not in (MATCH_PREFIX, MATCH_SUFFIX, MATCH_EXACT):
+            raise PolicyError(f"unknown match type {self.match!r}")
+
+    def applies_to(self, path: str) -> bool:
+        """True if the rule's predicate matches ``path``."""
+        if self.match == MATCH_PREFIX:
+            return path.startswith(self.pattern)
+        if self.match == MATCH_SUFFIX:
+            return path.endswith(self.pattern)
+        return path == self.pattern
+
+
+class ImaPolicy:
+    """An ordered rule list; first matching rule decides."""
+
+    def __init__(self, rules: Sequence[PolicyRule] = ()) -> None:
+        self._rules: List[PolicyRule] = list(rules)
+
+    @classmethod
+    def from_text(cls, text: str) -> "ImaPolicy":
+        """Parse a policy file.
+
+        Line format: ``<action> <match> <pattern>``, ``#`` comments, e.g.::
+
+            # measure everything the host can execute
+            measure prefix /usr/bin/
+            dont_measure prefix /var/log/
+        """
+        rules = []
+        for line_number, raw_line in enumerate(text.splitlines(), start=1):
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise PolicyError(
+                    f"line {line_number}: expected '<action> <match> "
+                    f"<pattern>', got {raw_line!r}"
+                )
+            rules.append(PolicyRule(parts[0], parts[1], parts[2]))
+        return cls(rules)
+
+    @classmethod
+    def default_host_policy(cls) -> "ImaPolicy":
+        """The policy the example deployments use: measure executables,
+        libraries, the container runtime, and container image content."""
+        return cls([
+            PolicyRule(ACTION_DONT_MEASURE, MATCH_PREFIX, "/var/log/"),
+            PolicyRule(ACTION_DONT_MEASURE, MATCH_PREFIX, "/tmp/"),
+            PolicyRule(ACTION_MEASURE, MATCH_PREFIX, "/usr/bin/"),
+            PolicyRule(ACTION_MEASURE, MATCH_PREFIX, "/usr/sbin/"),
+            PolicyRule(ACTION_MEASURE, MATCH_PREFIX, "/usr/lib/"),
+            PolicyRule(ACTION_MEASURE, MATCH_PREFIX, "/boot/"),
+            PolicyRule(ACTION_MEASURE, MATCH_PREFIX, "/var/lib/containers/"),
+        ])
+
+    def add_rule(self, rule: PolicyRule) -> None:
+        """Append a rule (lowest priority)."""
+        self._rules.append(rule)
+
+    def should_measure(self, path: str) -> bool:
+        """Decide whether ``path`` is a measurement target."""
+        for rule in self._rules:
+            if rule.applies_to(path):
+                return rule.action == ACTION_MEASURE
+        return False
+
+    @property
+    def rules(self) -> List[PolicyRule]:
+        """The ordered rules."""
+        return list(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)

@@ -1,0 +1,30 @@
+"""In-memory simulated network with virtual time.
+
+All protocol traffic in the library (VM <-> enclaves, VNF <-> controller,
+VM <-> IAS) flows through this substrate.  A single-threaded, synchronous
+delivery model is used: sending on a channel charges link latency to the
+virtual clock and either buffers the bytes for a blocking reader or invokes
+the peer's receive handler inline.  This makes entire end-to-end runs
+deterministic and lets benchmarks report *simulated* time (machine
+independent) alongside wall time.
+"""
+
+from repro.net.clock import VirtualClock
+from repro.net.address import Address
+from repro.net.simnet import Network, LinkProfile
+from repro.net.channel import Channel
+from repro.net.framing import send_frame, recv_frame
+from repro.net.rest import HttpRequest, HttpResponse, RestServer
+
+__all__ = [
+    "VirtualClock",
+    "Address",
+    "Network",
+    "LinkProfile",
+    "Channel",
+    "send_frame",
+    "recv_frame",
+    "HttpRequest",
+    "HttpResponse",
+    "RestServer",
+]

@@ -1,0 +1,31 @@
+"""Network addresses for the simulated fabric."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import AddressError
+
+
+class Address(NamedTuple):
+    """A ``host:port`` endpoint identity on the simulated network."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Address":
+        """Parse ``"host:port"`` into an :class:`Address`."""
+        host, sep, port_text = text.rpartition(":")
+        if not sep or not host:
+            raise AddressError(f"malformed address {text!r}")
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise AddressError(f"malformed port in {text!r}") from exc
+        if not 0 < port < 65536:
+            raise AddressError(f"port out of range in {text!r}")
+        return cls(host, port)

@@ -1,0 +1,50 @@
+"""Length-prefixed message framing over byte-stream channels.
+
+Frames are ``length (4 bytes, big-endian) || payload``.  Both the secure
+provisioning protocol and the attestation protocol exchange framed messages;
+TLS uses its own record format instead.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.errors import FramingError
+from repro.net.channel import Channel
+
+MAX_FRAME = 1 << 24  # 16 MiB
+
+
+def send_frame(channel: Channel, payload: bytes) -> None:
+    """Send one framed message."""
+    if len(payload) > MAX_FRAME:
+        raise FramingError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME}")
+    channel.send(struct.pack(">I", len(payload)) + payload)
+
+
+def recv_frame(channel: Channel) -> bytes:
+    """Receive one framed message (blocking-style)."""
+    header = channel.recv_exactly(4)
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME:
+        raise FramingError(f"declared frame length {length} exceeds {MAX_FRAME}")
+    return channel.recv_exactly(length)
+
+
+def try_recv_frame(channel: Channel) -> Optional[bytes]:
+    """Receive one framed message if fully buffered, else ``None``.
+
+    Event-driven endpoints call this from their receive handlers, which may
+    fire with partial frames.
+    """
+    if channel.bytes_available < 4:
+        return None
+    header = bytes(channel._rx[:4])  # peek without consuming
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME:
+        raise FramingError(f"declared frame length {length} exceeds {MAX_FRAME}")
+    if channel.bytes_available < 4 + length:
+        return None
+    channel.recv_exactly(4)
+    return channel.recv_exactly(length)

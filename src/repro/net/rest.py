@@ -1,0 +1,170 @@
+"""A minimal HTTP/1.1-style REST layer.
+
+The paper's VNFs talk to the Floodlight controller over its REST API in one
+of three security modes (plain HTTP, HTTPS, trusted HTTPS).  This module
+implements the message format and a small routing server; it is transport
+agnostic — the same bytes flow over a bare :class:`~repro.net.channel.Channel`
+(HTTP mode) or a TLS connection (HTTPS modes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import RestError
+
+_MAX_HEADER_BYTES = 16384
+_MAX_BODY_BYTES = 1 << 24
+
+STATUS_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP request message."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes."""
+        headers = dict(self.headers)
+        headers.setdefault("content-length", str(len(self.body)))
+        lines = [f"{self.method} {self.path} HTTP/1.1"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + self.body
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP response message."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes."""
+        reason = STATUS_REASONS.get(self.status, "Unknown")
+        headers = dict(self.headers)
+        headers.setdefault("content-length", str(len(self.body)))
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + self.body
+
+
+def _split_message(data: bytes) -> Optional[Tuple[str, Dict[str, str], bytes, int]]:
+    """Try to carve one complete HTTP message out of ``data``.
+
+    Returns ``(start_line, headers, body, consumed)`` or ``None`` if more
+    bytes are needed.
+    """
+    end = data.find(b"\r\n\r\n")
+    if end < 0:
+        if len(data) > _MAX_HEADER_BYTES:
+            raise RestError("header section exceeds limit")
+        return None
+    head = data[:end].decode("ascii", errors="replace")
+    lines = head.split("\r\n")
+    start_line = lines[0]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise RestError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError as exc:
+        raise RestError("malformed content-length") from exc
+    if length < 0 or length > _MAX_BODY_BYTES:
+        raise RestError(f"content-length {length} out of range")
+    body_start = end + 4
+    if len(data) < body_start + length:
+        return None
+    body = data[body_start:body_start + length]
+    return start_line, headers, body, body_start + length
+
+
+class HttpParser:
+    """Incremental parser that turns a byte stream into HTTP messages."""
+
+    def __init__(self, is_server_side: bool) -> None:
+        self._buffer = bytearray()
+        self._is_server = is_server_side
+
+    def feed(self, data: bytes) -> List[object]:
+        """Absorb bytes; return complete messages parsed so far."""
+        self._buffer += data
+        messages: List[object] = []
+        while True:
+            carved = _split_message(bytes(self._buffer))
+            if carved is None:
+                return messages
+            start_line, headers, body, consumed = carved
+            del self._buffer[:consumed]
+            messages.append(self._build(start_line, headers, body))
+
+    def _build(self, start_line: str, headers: Dict[str, str], body: bytes):
+        parts = start_line.split(" ")
+        if self._is_server:
+            if len(parts) != 3 or parts[2] != "HTTP/1.1":
+                raise RestError(f"malformed request line {start_line!r}")
+            return HttpRequest(parts[0], parts[1], headers, body)
+        if len(parts) < 2 or parts[0] != "HTTP/1.1":
+            raise RestError(f"malformed status line {start_line!r}")
+        try:
+            status = int(parts[1])
+        except ValueError as exc:
+            raise RestError(f"malformed status {parts[1]!r}") from exc
+        return HttpResponse(status, headers, body)
+
+
+Handler = Callable[[HttpRequest], HttpResponse]
+
+
+class RestServer:
+    """Routes requests to handlers by exact ``(method, path)`` match.
+
+    Handlers receive the :class:`HttpRequest` and return an
+    :class:`HttpResponse`; exceptions surface as 500s so one bad request
+    cannot take the controller down.
+    """
+
+    def __init__(self) -> None:
+        self._routes: Dict[Tuple[str, str], Handler] = {}
+
+    def route(self, method: str, path: str, handler: Handler) -> None:
+        """Register a handler."""
+        self._routes[(method.upper(), path)] = handler
+
+    def dispatch(self, request: HttpRequest) -> HttpResponse:
+        """Find and invoke the handler for ``request``."""
+        handler = self._routes.get((request.method.upper(), request.path))
+        if handler is None:
+            if any(path == request.path for _, path in self._routes):
+                return HttpResponse(405, body=b"method not allowed")
+            return HttpResponse(404, body=b"not found")
+        try:
+            return handler(request)
+        except RestError as exc:
+            return HttpResponse(400, body=str(exc).encode())
+        except Exception as exc:  # noqa: BLE001 — the server must survive
+            return HttpResponse(500, body=f"{type(exc).__name__}: {exc}".encode())
+
+    def routes(self) -> List[Tuple[str, str]]:
+        """Registered ``(method, path)`` pairs."""
+        return list(self._routes.keys())

@@ -1,0 +1,141 @@
+"""The simulated network fabric.
+
+A :class:`Network` owns the virtual clock, a listener table, and a latency
+model.  ``connect`` performs a rendezvous with the destination's acceptor
+and returns the client-side channel; every byte sent afterwards charges
+latency + serialization time to the clock under the ``"network"`` account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import AddressError, ConnectionRefused
+from repro.net.address import Address
+from repro.net.channel import Channel
+from repro.net.clock import VirtualClock
+
+Acceptor = Callable[[Channel], None]
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Latency/bandwidth parameters for a host pair.
+
+    Attributes:
+        latency: one-way propagation delay in seconds.
+        bytes_per_second: serialization rate; 0 disables the per-byte cost.
+    """
+
+    latency: float = 0.0005
+    bytes_per_second: float = 1.25e9  # ~10 Gbit/s
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Simulated one-way time to move ``n_bytes``."""
+        serialization = (
+            n_bytes / self.bytes_per_second if self.bytes_per_second else 0.0
+        )
+        return self.latency + serialization
+
+
+LOOPBACK = LinkProfile(latency=0.00002, bytes_per_second=5e9)
+DATACENTER = LinkProfile(latency=0.0005, bytes_per_second=1.25e9)
+WAN = LinkProfile(latency=0.02, bytes_per_second=1.25e8)
+
+
+class Network:
+    """The fabric connecting hosts in a deployment.
+
+    Args:
+        clock: shared virtual clock (created if not supplied).
+        default_profile: link profile for host pairs without an override.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None,
+                 default_profile: LinkProfile = DATACENTER) -> None:
+        self.clock = clock or VirtualClock()
+        self._default_profile = default_profile
+        self._listeners: Dict[Address, Acceptor] = {}
+        self._profiles: Dict[Tuple[str, str], LinkProfile] = {}
+        self._connection_count = 0
+
+    # ------------------------------------------------------------- topology
+
+    def set_link_profile(self, host_a: str, host_b: str,
+                         profile: LinkProfile) -> None:
+        """Override the link profile between two hosts (order-insensitive)."""
+        self._profiles[(host_a, host_b)] = profile
+        self._profiles[(host_b, host_a)] = profile
+
+    def profile_between(self, host_a: str, host_b: str) -> LinkProfile:
+        """Effective link profile between two hosts."""
+        if host_a == host_b:
+            return self._profiles.get((host_a, host_b), LOOPBACK)
+        return self._profiles.get((host_a, host_b), self._default_profile)
+
+    # ------------------------------------------------------------ listeners
+
+    def listen(self, address: Address, acceptor: Acceptor) -> None:
+        """Register an acceptor for inbound connections to ``address``."""
+        if address in self._listeners:
+            raise AddressError(f"{address} is already listening")
+        self._listeners[address] = acceptor
+
+    def stop_listening(self, address: Address) -> None:
+        """Remove a listener."""
+        self._listeners.pop(address, None)
+
+    def is_listening(self, address: Address) -> bool:
+        """True if something accepts connections at ``address``."""
+        return address in self._listeners
+
+    # ----------------------------------------------------------- connecting
+
+    def connect(self, source_host: str, destination: Address) -> Channel:
+        """Open a connection; returns the client-side channel.
+
+        The destination's acceptor runs inline (it typically registers an
+        ``on_receive`` handler on the server-side channel).
+        """
+        acceptor = self._listeners.get(destination)
+        if acceptor is None:
+            raise ConnectionRefused(f"nothing listening at {destination}")
+        profile = self.profile_between(source_host, destination.host)
+        self._connection_count += 1
+        conn_id = self._connection_count
+        # Connection setup costs one round trip (SYN + SYN/ACK equivalent).
+        self.clock.advance(2 * profile.latency, "network")
+
+        client_side: Channel
+        server_side: Channel
+
+        def make_deliver(direction: str) -> Callable[[Channel, bytes], None]:
+            def deliver(sender: Channel, data: bytes) -> None:
+                self.clock.advance(profile.transfer_time(len(data)), "network")
+                receiver = sender.peer
+                if receiver is not None:
+                    receiver._enqueue(data)
+            return deliver
+
+        def notify_close(closing: Channel) -> None:
+            if closing.peer is not None:
+                closing.peer._peer_did_close()
+
+        client_side = Channel(
+            f"conn{conn_id}:{source_host}->{destination}",
+            make_deliver("c2s"), notify_close,
+        )
+        server_side = Channel(
+            f"conn{conn_id}:{destination}<-{source_host}",
+            make_deliver("s2c"), notify_close,
+        )
+        client_side.peer = server_side
+        server_side.peer = client_side
+        acceptor(server_side)
+        return client_side
+
+    @property
+    def connections_opened(self) -> int:
+        """Total connections opened since construction."""
+        return self._connection_count

@@ -1,0 +1,39 @@
+"""Certificates and trust management (an X.509-lite PKI).
+
+The paper's Verification Manager doubles as a certificate authority: it
+issues the client certificates VNFs use against the Floodlight northbound
+API, and the controller is provisioned with the CA certificate instead of a
+per-client keystore.  This subpackage implements everything that story needs:
+
+- :mod:`repro.pki.der` — a deterministic TLV encoding ("DER-lite").
+- :mod:`repro.pki.name` — distinguished names.
+- :mod:`repro.pki.certificate` — certificates with validity, basic
+  constraints, key usage and SAN extensions.
+- :mod:`repro.pki.csr` — signing requests with proof of possession.
+- :mod:`repro.pki.ca` — the certificate authority.
+- :mod:`repro.pki.crl` — revocation lists.
+- :mod:`repro.pki.chain` — path building and validation.
+- :mod:`repro.pki.keystore` / :mod:`repro.pki.truststore` — the two
+  controller-side validation models compared in the paper (per-client
+  keystore vs. a single trusted CA).
+"""
+
+from repro.pki.name import DistinguishedName
+from repro.pki.certificate import Certificate
+from repro.pki.csr import CertificateSigningRequest
+from repro.pki.ca import CertificateAuthority
+from repro.pki.crl import CertificateRevocationList
+from repro.pki.chain import validate_chain
+from repro.pki.keystore import Keystore
+from repro.pki.truststore import Truststore
+
+__all__ = [
+    "DistinguishedName",
+    "Certificate",
+    "CertificateSigningRequest",
+    "CertificateAuthority",
+    "CertificateRevocationList",
+    "validate_chain",
+    "Keystore",
+    "Truststore",
+]

@@ -1,0 +1,169 @@
+"""The certificate authority embedded in the Verification Manager.
+
+Section 3 of the paper: *"The Verification Manager acts as a certificate
+authority, and signs all newly created client certificates.  The Floodlight
+controller must only validate that the client certificate has a valid
+signature from the trusted certificate authority."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.keys import EcPrivateKey, generate_keypair
+from repro.crypto.rng import HmacDrbg
+from repro.errors import CertificateError, RevocationError
+from repro.pki.certificate import (
+    Certificate,
+    KEY_USAGE_CERT_SIGN,
+    KEY_USAGE_CLIENT_AUTH,
+    KEY_USAGE_CRL_SIGN,
+    KEY_USAGE_SERVER_AUTH,
+)
+from repro.pki.crl import (
+    CertificateRevocationList,
+    REASON_UNSPECIFIED,
+    RevokedEntry,
+    sign_crl,
+)
+from repro.pki.csr import CertificateSigningRequest
+from repro.pki.name import DistinguishedName
+
+DEFAULT_VALIDITY = 365 * 24 * 3600  # one simulated year
+
+
+class CertificateAuthority:
+    """A self-signed root CA that issues and revokes end-entity certificates.
+
+    Args:
+        name: the CA's distinguished name.
+        now: issuance time for the self-signed root certificate.
+        rng: randomness source for key generation.
+        validity: root-certificate lifetime in seconds.
+    """
+
+    def __init__(self, name: DistinguishedName, now: int = 0,
+                 rng: Optional[HmacDrbg] = None,
+                 validity: int = 10 * DEFAULT_VALIDITY) -> None:
+        self.name = name
+        self._key: EcPrivateKey = generate_keypair(rng)
+        self._next_serial = 1
+        self._issued: Dict[int, Certificate] = {}
+        self._revoked: List[RevokedEntry] = []
+        self.certificate = self._self_sign(now, validity)
+
+    # ------------------------------------------------------------- internals
+
+    def _allocate_serial(self) -> int:
+        serial = self._next_serial
+        self._next_serial += 1
+        return serial
+
+    def _self_sign(self, now: int, validity: int) -> Certificate:
+        unsigned = Certificate(
+            serial=self._allocate_serial(),
+            subject=self.name,
+            issuer=self.name,
+            public_key_bytes=self._key.public.to_bytes(),
+            not_before=now,
+            not_after=now + validity,
+            is_ca=True,
+            key_usage=(KEY_USAGE_CERT_SIGN, KEY_USAGE_CRL_SIGN),
+        )
+        cert = replace(unsigned, signature=self._key.sign(unsigned.tbs_bytes()))
+        self._issued[cert.serial] = cert
+        return cert
+
+    # ------------------------------------------------------------- issuance
+
+    def issue(self, subject: DistinguishedName, public_key_bytes: bytes,
+              now: int, validity: int = DEFAULT_VALIDITY,
+              key_usage: Tuple[str, ...] = (KEY_USAGE_CLIENT_AUTH,),
+              san: Tuple[str, ...] = (), is_ca: bool = False) -> Certificate:
+        """Issue a certificate over an externally supplied public key.
+
+        This is the paper's main path: the VM generates the key pair itself
+        and provisions both halves into the enclave (Fig. 1 step 5).
+        """
+        unsigned = Certificate(
+            serial=self._allocate_serial(),
+            subject=subject,
+            issuer=self.name,
+            public_key_bytes=public_key_bytes,
+            not_before=now,
+            not_after=now + validity,
+            is_ca=is_ca,
+            key_usage=key_usage,
+            san=san,
+        )
+        cert = replace(unsigned, signature=self._key.sign(unsigned.tbs_bytes()))
+        self._issued[cert.serial] = cert
+        return cert
+
+    def issue_from_csr(self, csr: CertificateSigningRequest, now: int,
+                       validity: int = DEFAULT_VALIDITY,
+                       key_usage: Tuple[str, ...] = (KEY_USAGE_CLIENT_AUTH,),
+                       ) -> Certificate:
+        """Issue from a CSR after checking proof of possession.
+
+        This is the enclave-generated-key variant: the private key never
+        exists outside the enclave at all.
+        """
+        csr.verify_proof_of_possession()
+        return self.issue(
+            subject=csr.subject,
+            public_key_bytes=csr.public_key_bytes,
+            now=now,
+            validity=validity,
+            key_usage=key_usage,
+            san=csr.san,
+        )
+
+    def issue_server_certificate(self, subject: DistinguishedName,
+                                 public_key_bytes: bytes, now: int,
+                                 validity: int = DEFAULT_VALIDITY,
+                                 san: Tuple[str, ...] = ()) -> Certificate:
+        """Issue a server-auth certificate (used by the controller's HTTPS)."""
+        return self.issue(
+            subject=subject,
+            public_key_bytes=public_key_bytes,
+            now=now,
+            validity=validity,
+            key_usage=(KEY_USAGE_SERVER_AUTH,),
+            san=san,
+        )
+
+    # ------------------------------------------------------------ revocation
+
+    def revoke(self, serial: int, now: int,
+               reason: str = REASON_UNSPECIFIED) -> None:
+        """Mark an issued certificate as revoked."""
+        if serial not in self._issued:
+            raise RevocationError(f"serial {serial} was not issued by this CA")
+        if serial == self.certificate.serial:
+            raise RevocationError("refusing to revoke the root certificate")
+        if any(entry.serial == serial for entry in self._revoked):
+            return  # already revoked: idempotent
+        self._revoked.append(RevokedEntry(serial, now, reason))
+
+    def current_crl(self, now: int,
+                    update_interval: int = 24 * 3600) -> CertificateRevocationList:
+        """Produce a freshly signed CRL."""
+        return sign_crl(
+            self._key, self.name, now, now + update_interval, self._revoked
+        )
+
+    # ------------------------------------------------------------- queries
+
+    def issued_certificate(self, serial: int) -> Certificate:
+        """Look up a certificate this CA issued."""
+        try:
+            return self._issued[serial]
+        except KeyError as exc:
+            raise CertificateError(f"unknown serial {serial}") from exc
+
+    @property
+    def issued_count(self) -> int:
+        """How many certificates (including the root) have been issued."""
+        return len(self._issued)

@@ -1,0 +1,147 @@
+"""Certificates: the credential objects the whole paper revolves around.
+
+A certificate binds a subject name to a P-256 public key, carries a validity
+window in simulation seconds, the basic-constraints CA flag, key-usage
+strings, and subject-alternative names, and is signed by its issuer over the
+canonical encoding of the to-be-signed portion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto.keys import EcPublicKey
+from repro.crypto.sha256 import sha256
+from repro.errors import CertificateError, CertificateExpired, EncodingError
+from repro.pki import der
+from repro.pki.name import DistinguishedName
+
+KEY_USAGE_CERT_SIGN = "cert-sign"
+KEY_USAGE_CRL_SIGN = "crl-sign"
+KEY_USAGE_CLIENT_AUTH = "client-auth"
+KEY_USAGE_SERVER_AUTH = "server-auth"
+KEY_USAGE_DIGITAL_SIGNATURE = "digital-signature"
+
+_VERSION = 3  # mirrors X.509 v3
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An issued certificate.
+
+    Attributes:
+        serial: issuer-unique serial number.
+        subject: name of the key holder.
+        issuer: name of the signing authority.
+        public_key_bytes: SEC1 encoding of the subject's P-256 public key.
+        not_before / not_after: validity window, inclusive, in seconds.
+        is_ca: basic-constraints CA flag.
+        key_usage: tuple of usage strings (see module constants).
+        san: subject alternative names (e.g. container addresses).
+        signature: issuer's ECDSA signature over :meth:`tbs_bytes`.
+    """
+
+    serial: int
+    subject: DistinguishedName
+    issuer: DistinguishedName
+    public_key_bytes: bytes
+    not_before: int
+    not_after: int
+    is_ca: bool = False
+    key_usage: Tuple[str, ...] = ()
+    san: Tuple[str, ...] = ()
+    signature: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.not_after < self.not_before:
+            raise CertificateError("not_after precedes not_before")
+        if self.serial < 0:
+            raise CertificateError("negative serial number")
+
+    # ------------------------------------------------------------ encoding
+
+    def _tbs_list(self) -> list:
+        return [
+            _VERSION,
+            self.serial,
+            self.subject.to_list(),
+            self.issuer.to_list(),
+            self.public_key_bytes,
+            self.not_before,
+            self.not_after,
+            self.is_ca,
+            list(self.key_usage),
+            list(self.san),
+        ]
+
+    def tbs_bytes(self) -> bytes:
+        """Canonical encoding of the to-be-signed portion."""
+        return der.encode(self._tbs_list())
+
+    def to_bytes(self) -> bytes:
+        """Full encoded certificate (TBS + signature)."""
+        return der.encode([self._tbs_list(), self.signature])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Certificate":
+        """Parse an encoded certificate, validating structure."""
+        decoded = der.decode(data)
+        if not (isinstance(decoded, list) and len(decoded) == 2):
+            raise EncodingError("malformed certificate envelope")
+        tbs, signature = decoded
+        if not (isinstance(tbs, list) and len(tbs) == 10):
+            raise EncodingError("malformed certificate body")
+        (version, serial, subject, issuer, pub, not_before, not_after,
+         is_ca, key_usage, san) = tbs
+        if version != _VERSION:
+            raise CertificateError(f"unsupported certificate version {version}")
+        if not isinstance(signature, bytes):
+            raise EncodingError("malformed certificate signature")
+        return cls(
+            serial=serial,
+            subject=DistinguishedName.from_list(subject),
+            issuer=DistinguishedName.from_list(issuer),
+            public_key_bytes=pub,
+            not_before=not_before,
+            not_after=not_after,
+            is_ca=is_ca,
+            key_usage=tuple(key_usage),
+            san=tuple(san),
+            signature=signature,
+        )
+
+    # ------------------------------------------------------------ semantics
+
+    @property
+    def public_key(self) -> EcPublicKey:
+        """The subject's public key as a validated object."""
+        return EcPublicKey.from_bytes(self.public_key_bytes)
+
+    def fingerprint(self) -> bytes:
+        """SHA-256 over the full encoded certificate."""
+        return sha256(self.to_bytes())
+
+    def is_self_signed(self) -> bool:
+        """True when subject and issuer names coincide."""
+        return self.subject == self.issuer
+
+    def check_validity(self, now: int) -> None:
+        """Raise :class:`CertificateExpired` outside the validity window."""
+        if not self.not_before <= now <= self.not_after:
+            raise CertificateExpired(
+                f"certificate {self.subject} valid [{self.not_before}, "
+                f"{self.not_after}], checked at {now}"
+            )
+
+    def allows_usage(self, usage: str) -> bool:
+        """True if ``usage`` is permitted (empty key_usage permits all)."""
+        return not self.key_usage or usage in self.key_usage
+
+    def verify_signature(self, issuer_key: EcPublicKey) -> None:
+        """Verify the issuer's signature over the TBS bytes.
+
+        Raises:
+            repro.errors.InvalidSignature: on verification failure.
+        """
+        issuer_key.verify(self.tbs_bytes(), self.signature)

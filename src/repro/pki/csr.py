@@ -1,0 +1,74 @@
+"""Certificate signing requests with proof of possession.
+
+When a VNF credential enclave generates its key pair *inside* the enclave
+(one of the provisioning variants), it sends the Verification Manager a CSR;
+the self-signature proves the requester holds the private key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto.keys import EcPrivateKey, EcPublicKey
+from repro.errors import EncodingError
+from repro.pki import der
+from repro.pki.name import DistinguishedName
+
+
+@dataclass(frozen=True)
+class CertificateSigningRequest:
+    """A request that ``subject``'s ``public_key_bytes`` be certified."""
+
+    subject: DistinguishedName
+    public_key_bytes: bytes
+    san: Tuple[str, ...] = ()
+    signature: bytes = b""
+
+    def _tbs_list(self) -> list:
+        return [self.subject.to_list(), self.public_key_bytes, list(self.san)]
+
+    def tbs_bytes(self) -> bytes:
+        """Canonical encoding of the signed portion."""
+        return der.encode(self._tbs_list())
+
+    def to_bytes(self) -> bytes:
+        """Full encoded CSR."""
+        return der.encode([self._tbs_list(), self.signature])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CertificateSigningRequest":
+        """Parse an encoded CSR."""
+        decoded = der.decode(data)
+        if not (isinstance(decoded, list) and len(decoded) == 2):
+            raise EncodingError("malformed CSR envelope")
+        tbs, signature = decoded
+        if not (isinstance(tbs, list) and len(tbs) == 3):
+            raise EncodingError("malformed CSR body")
+        subject, pub, san = tbs
+        return cls(
+            subject=DistinguishedName.from_list(subject),
+            public_key_bytes=pub,
+            san=tuple(san),
+            signature=signature,
+        )
+
+    def verify_proof_of_possession(self) -> None:
+        """Check the CSR is signed by the key it asks to certify."""
+        EcPublicKey.from_bytes(self.public_key_bytes).verify(
+            self.tbs_bytes(), self.signature
+        )
+
+
+def create_csr(key: EcPrivateKey, subject: DistinguishedName,
+               san: Tuple[str, ...] = ()) -> CertificateSigningRequest:
+    """Build and self-sign a CSR for ``key``."""
+    unsigned = CertificateSigningRequest(
+        subject=subject, public_key_bytes=key.public.to_bytes(), san=san
+    )
+    return CertificateSigningRequest(
+        subject=subject,
+        public_key_bytes=key.public.to_bytes(),
+        san=san,
+        signature=key.sign(unsigned.tbs_bytes()),
+    )

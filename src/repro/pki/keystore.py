@@ -1,0 +1,77 @@
+"""A Floodlight-style keystore.
+
+Floodlight's trusted-HTTPS mode validates client certificates by looking
+them up in its keystore, one entry per client.  The paper points out that
+this forces the keystore to be updated every time the Verification Manager
+mints a new credential — the operational cost that motivates the trusted-CA
+design.  Both models are implemented so experiment E3 can compare them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.crypto.keys import EcPrivateKey
+from repro.errors import KeystoreError
+from repro.pki.certificate import Certificate
+
+
+class Keystore:
+    """Alias-indexed store of certificates plus (optionally) a private key.
+
+    Mirrors the Java keystore Floodlight uses: *trusted entries* are bare
+    certificates (the per-client validation list); the *key entry* is the
+    server's own certificate with its private key.
+    """
+
+    def __init__(self) -> None:
+        self._trusted: Dict[str, Certificate] = {}
+        self._key_entries: Dict[str, tuple] = {}
+
+    # ----------------------------------------------------- trusted entries
+
+    def add_trusted(self, alias: str, certificate: Certificate) -> None:
+        """Add/replace a trusted client certificate under ``alias``."""
+        if not alias:
+            raise KeystoreError("alias must be non-empty")
+        self._trusted[alias] = certificate
+
+    def remove_trusted(self, alias: str) -> None:
+        """Remove a trusted entry."""
+        if alias not in self._trusted:
+            raise KeystoreError(f"no trusted entry {alias!r}")
+        del self._trusted[alias]
+
+    def contains_certificate(self, certificate: Certificate) -> bool:
+        """True if an identical certificate is a trusted entry.
+
+        This linear scan *is* the per-client validation model: cost grows
+        with the number of enrolled clients.
+        """
+        fp = certificate.fingerprint()
+        return any(c.fingerprint() == fp for c in self._trusted.values())
+
+    def trusted_aliases(self) -> List[str]:
+        """All trusted-entry aliases."""
+        return list(self._trusted.keys())
+
+    # --------------------------------------------------------- key entries
+
+    def set_key_entry(self, alias: str, key: EcPrivateKey,
+                      certificate: Certificate) -> None:
+        """Store a private key with its certificate (the server identity)."""
+        if certificate.public_key_bytes != key.public.to_bytes():
+            raise KeystoreError("certificate does not match the private key")
+        self._key_entries[alias] = (key, certificate)
+
+    def get_key_entry(self, alias: str) -> tuple:
+        """Fetch ``(key, certificate)`` for ``alias``."""
+        try:
+            return self._key_entries[alias]
+        except KeyError as exc:
+            raise KeystoreError(f"no key entry {alias!r}") from exc
+
+    # -------------------------------------------------------------- sizing
+
+    def __len__(self) -> int:
+        return len(self._trusted) + len(self._key_entries)

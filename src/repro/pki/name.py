@@ -1,0 +1,57 @@
+"""Distinguished names for certificate subjects and issuers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EncodingError
+from repro.pki import der
+
+
+@dataclass(frozen=True, order=True)
+class DistinguishedName:
+    """A minimal X.500-style name.
+
+    Only the attributes the VNF/controller deployment uses are modelled;
+    ``common_name`` is mandatory because all certificate lookups key on it.
+    """
+
+    common_name: str
+    organization: str = ""
+    organizational_unit: str = ""
+    country: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.common_name:
+            raise EncodingError("common_name must be non-empty")
+
+    def __str__(self) -> str:
+        parts = [f"CN={self.common_name}"]
+        if self.organization:
+            parts.append(f"O={self.organization}")
+        if self.organizational_unit:
+            parts.append(f"OU={self.organizational_unit}")
+        if self.country:
+            parts.append(f"C={self.country}")
+        return ",".join(parts)
+
+    def to_list(self) -> list:
+        """Canonical list form used inside encoded certificates."""
+        return [self.common_name, self.organization,
+                self.organizational_unit, self.country]
+
+    @classmethod
+    def from_list(cls, items: list) -> "DistinguishedName":
+        """Rebuild from the canonical list form."""
+        if len(items) != 4 or not all(isinstance(i, str) for i in items):
+            raise EncodingError("malformed distinguished name")
+        return cls(*items)
+
+    def to_bytes(self) -> bytes:
+        """Standalone encoded form."""
+        return der.encode(self.to_list())
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DistinguishedName":
+        """Parse a standalone encoded name."""
+        return cls.from_list(der.decode(data))

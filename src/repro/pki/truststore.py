@@ -1,0 +1,54 @@
+"""Trust anchors: the "provision the controller with a CA" half of the paper's
+keystore argument."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import KeystoreError, UntrustedCertificate
+from repro.pki.certificate import Certificate
+from repro.pki.name import DistinguishedName
+
+
+class Truststore:
+    """A set of trusted CA certificates, indexed by subject name."""
+
+    def __init__(self, anchors: Iterable[Certificate] = ()) -> None:
+        self._anchors: Dict[DistinguishedName, Certificate] = {}
+        for anchor in anchors:
+            self.add(anchor)
+
+    def add(self, anchor: Certificate) -> None:
+        """Add a trust anchor; it must be a CA certificate."""
+        if not anchor.is_ca:
+            raise KeystoreError(
+                f"refusing non-CA certificate {anchor.subject} as trust anchor"
+            )
+        self._anchors[anchor.subject] = anchor
+
+    def remove(self, subject: DistinguishedName) -> None:
+        """Remove an anchor by subject name."""
+        if subject not in self._anchors:
+            raise KeystoreError(f"no trust anchor for {subject}")
+        del self._anchors[subject]
+
+    def find(self, subject: DistinguishedName) -> Optional[Certificate]:
+        """Look up an anchor by subject name, or ``None``."""
+        return self._anchors.get(subject)
+
+    def require(self, subject: DistinguishedName) -> Certificate:
+        """Look up an anchor, raising if absent."""
+        anchor = self.find(subject)
+        if anchor is None:
+            raise UntrustedCertificate(f"no trust anchor for {subject}")
+        return anchor
+
+    def __contains__(self, subject: DistinguishedName) -> bool:
+        return subject in self._anchors
+
+    def __len__(self) -> int:
+        return len(self._anchors)
+
+    def anchors(self) -> List[Certificate]:
+        """All anchors, in insertion order."""
+        return list(self._anchors.values())

@@ -1,0 +1,32 @@
+"""A Floodlight-like SDN substrate.
+
+The paper's VNFs talk REST to a Floodlight 1.2 controller whose northbound
+API supports three security modes — plain HTTP, HTTPS, and trusted HTTPS
+with client authentication.  This subpackage models the controller
+(topology, device manager, static flow pusher), a simulated forwarding
+plane of OpenFlow-style switches, the northbound API in all three modes,
+and the VNF applications that exercise it.
+"""
+
+from repro.sdn.flows import FlowRule, FlowMatch, Packet, ACTION_DROP, output
+from repro.sdn.switch import Switch
+from repro.sdn.topology import Topology
+from repro.sdn.controller import FloodlightController
+from repro.sdn.northbound import NorthboundEndpoint, MODE_HTTP, MODE_HTTPS, MODE_TRUSTED
+from repro.sdn.vnf import VnfRestClient
+
+__all__ = [
+    "FlowRule",
+    "FlowMatch",
+    "Packet",
+    "ACTION_DROP",
+    "output",
+    "Switch",
+    "Topology",
+    "FloodlightController",
+    "NorthboundEndpoint",
+    "MODE_HTTP",
+    "MODE_HTTPS",
+    "MODE_TRUSTED",
+    "VnfRestClient",
+]

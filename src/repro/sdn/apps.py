@@ -1,0 +1,93 @@
+"""Example VNF applications — the workloads the paper's intro motivates.
+
+Each app drives the controller through a REST client (baseline or
+enclave-backed; both expose the same operations), so the same application
+code runs with unprotected or SGX-protected credentials.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SdnError
+
+
+class FirewallVnf:
+    """Pushes drop rules for blocked host pairs."""
+
+    def __init__(self, client, switch_dpid: str) -> None:
+        self._client = client
+        self._dpid = switch_dpid
+        self._blocked: Dict[str, tuple] = {}
+
+    def block(self, eth_src: str, eth_dst: str) -> str:
+        """Install a drop rule for ``eth_src -> eth_dst``; returns its name."""
+        name = f"fw-{eth_src}-{eth_dst}"
+        self._client.push_flow(
+            switch=self._dpid,
+            name=name,
+            match={"eth_src": eth_src, "eth_dst": eth_dst},
+            actions="drop",
+            priority=500,
+        )
+        self._blocked[name] = (eth_src, eth_dst)
+        return name
+
+    def unblock(self, name: str) -> None:
+        """Remove a previously installed block."""
+        if name not in self._blocked:
+            raise SdnError(f"no block named {name!r}")
+        self._client.delete_flow(name)
+        del self._blocked[name]
+
+    @property
+    def active_blocks(self) -> List[str]:
+        """Names of active drop rules."""
+        return sorted(self._blocked)
+
+
+class LoadBalancerVnf:
+    """Spreads a service's flows across backend ports round-robin."""
+
+    def __init__(self, client, switch_dpid: str,
+                 backend_ports: List[int]) -> None:
+        if not backend_ports:
+            raise SdnError("load balancer needs at least one backend port")
+        self._client = client
+        self._dpid = switch_dpid
+        self._backends = list(backend_ports)
+        self._next = 0
+        self.assignments: Dict[str, int] = {}
+
+    def assign(self, client_mac: str, service_port: int = 80) -> int:
+        """Pin a client to the next backend; returns the chosen port."""
+        backend = self._backends[self._next % len(self._backends)]
+        self._next += 1
+        self._client.push_flow(
+            switch=self._dpid,
+            name=f"lb-{client_mac}-{service_port}",
+            match={"eth_src": client_mac, "tcp_dst": service_port},
+            actions=f"output:{backend}",
+            priority=300,
+        )
+        self.assignments[client_mac] = backend
+        return backend
+
+
+class MonitorVnf:
+    """Read-only telemetry: polls the controller's summary and flows."""
+
+    def __init__(self, client) -> None:
+        self._client = client
+        self.samples: List[dict] = []
+
+    def poll(self) -> dict:
+        """Fetch and record one summary sample."""
+        summary = self._client.summary()
+        self.samples.append(summary)
+        return summary
+
+    def flow_count(self) -> int:
+        """Total static flows across all switches."""
+        flows = self._client.list_flows()
+        return sum(len(rules) for rules in flows.values())

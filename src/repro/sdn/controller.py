@@ -1,0 +1,137 @@
+"""The network controller (a Floodlight 1.2 model).
+
+Implements the modules the paper's deployment touches: the device manager
+(host attachment tracking), reactive forwarding via packet-in (shortest
+path + flow installation), and the static flow pusher the northbound REST
+API drives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import FlowError, TopologyError
+from repro.sdn.flows import FlowMatch, FlowRule, Packet, output
+from repro.sdn.switch import Switch
+from repro.sdn.topology import Topology
+
+CONTROLLER_VERSION = "1.2-model"
+
+
+class FloodlightController:
+    """The controller core the northbound API fronts."""
+
+    def __init__(self, name: str = "floodlight") -> None:
+        self.name = name
+        self.version = CONTROLLER_VERSION
+        self.topology = Topology()
+        self.packet_ins_handled = 0
+        self.flows_pushed = 0
+        self._static_flow_index: Dict[str, str] = {}  # rule name -> dpid
+
+    # ----------------------------------------------------------- forwarding
+
+    def register_switch(self, switch: Switch) -> None:
+        """Add a switch and take over its packet-in handling."""
+        self.topology.add_switch(switch)
+        switch.set_packet_in_handler(self._on_packet_in)
+
+    def _on_packet_in(self, switch: Switch, in_port: int,
+                      packet: Packet) -> Optional[List[str]]:
+        """Reactive forwarding: install the shortest path, return actions."""
+        self.packet_ins_handled += 1
+        try:
+            path = self.topology.shortest_path(packet.eth_src, packet.eth_dst)
+        except TopologyError:
+            return None  # unknown destination: drop
+        if not path:
+            return None
+        self._install_path(path, packet)
+        # Tell the punting switch where to send this first packet.
+        index = path.index(switch.dpid) if switch.dpid in path else -1
+        if index < 0:
+            return None
+        next_hop = (path[index + 1] if index + 1 < len(path)
+                    else packet.eth_dst)
+        port = self.topology.port_toward(switch.dpid, next_hop)
+        return [output(port)]
+
+    def _install_path(self, path: List[str], packet: Packet) -> None:
+        for index, dpid in enumerate(path):
+            next_hop = (path[index + 1] if index + 1 < len(path)
+                        else packet.eth_dst)
+            port = self.topology.port_toward(dpid, next_hop)
+            rule = FlowRule(
+                name=f"reactive-{packet.eth_src}-{packet.eth_dst}-{dpid}",
+                match=FlowMatch.from_dict({
+                    "eth_src": packet.eth_src,
+                    "eth_dst": packet.eth_dst,
+                }),
+                actions=(output(port),),
+                priority=10,
+            )
+            self.topology.switch(dpid).table.add(rule)
+
+    # ------------------------------------------------------ static flow API
+
+    def push_flow(self, dpid: str, rule: FlowRule) -> None:
+        """Install a rule on a switch (static flow pusher)."""
+        self.topology.switch(dpid).table.add(rule)
+        self._static_flow_index[rule.name] = dpid
+        self.flows_pushed += 1
+
+    def delete_flow(self, name: str) -> None:
+        """Remove a statically pushed rule by name."""
+        dpid = self._static_flow_index.pop(name, None)
+        if dpid is None:
+            raise FlowError(f"no static flow named {name!r}")
+        self.topology.switch(dpid).table.remove(name)
+
+    def static_flows(self) -> Dict[str, List[FlowRule]]:
+        """All static rules, grouped by dpid."""
+        grouped: Dict[str, List[FlowRule]] = {}
+        for name, dpid in self._static_flow_index.items():
+            switch = self.topology.switch(dpid)
+            for rule in switch.table.rules():
+                if rule.name == name:
+                    grouped.setdefault(dpid, []).append(rule)
+        return grouped
+
+    # -------------------------------------------------------------- queries
+
+    def summary(self) -> Dict[str, object]:
+        """The ``/wm/core/controller/summary/json`` payload."""
+        return {
+            "controller": self.name,
+            "version": self.version,
+            "switches": len(self.topology.switches()),
+            "hosts": len(self.topology.hosts()),
+            "packetInsHandled": self.packet_ins_handled,
+            "flowsPushed": self.flows_pushed,
+        }
+
+    # ------------------------------------------------------------ data path
+
+    def inject_packet(self, src_host: str, packet: Packet) -> str:
+        """Send a packet from an attached host through the data plane.
+
+        Returns the final verdict: ``"delivered"``, ``"dropped"``, or
+        ``"lost"``.
+        """
+        dpid, port = self.topology.attachment_point(src_host)
+        switch = self.topology.switch(dpid)
+        hops = 0
+        while hops < 64:
+            hops += 1
+            verdict, ports = switch.process(packet, port)
+            if verdict in ("dropped", "no_rule"):
+                return "dropped" if verdict == "dropped" else "lost"
+            if not ports:
+                return "lost"
+            neighbour = switch.neighbour_at(ports[0])
+            if isinstance(neighbour, str):
+                return ("delivered" if neighbour == packet.eth_dst
+                        else "lost")
+            next_switch, next_port = neighbour
+            switch, port = next_switch, next_port
+        return "lost"

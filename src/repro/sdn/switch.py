@@ -1,0 +1,93 @@
+"""OpenFlow-style switches: match in the table, punt misses upstairs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.sdn.flows import FlowRule, FlowTable, Packet
+
+PacketInHandler = Callable[["Switch", int, Packet], Optional[List[str]]]
+
+
+class Switch:
+    """One forwarding element.
+
+    Ports map to neighbours: either another ``(switch, port)`` pair or a
+    host name.  A table miss invokes the controller's packet-in handler,
+    which may return actions to apply immediately (after installing flows).
+    """
+
+    def __init__(self, dpid: str) -> None:
+        if not dpid:
+            raise TopologyError("switch needs a dpid")
+        self.dpid = dpid
+        self.table = FlowTable()
+        self._ports: Dict[int, object] = {}
+        self._packet_in: Optional[PacketInHandler] = None
+        self.packets_seen = 0
+        self.packets_dropped = 0
+        self.table_misses = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    def connect_port(self, port: int, neighbour: object) -> None:
+        """Attach a neighbour (host name or ``(Switch, port)``) to a port."""
+        if port in self._ports:
+            raise TopologyError(f"{self.dpid} port {port} already connected")
+        self._ports[port] = neighbour
+
+    def neighbour_at(self, port: int) -> object:
+        """What hangs off ``port``."""
+        try:
+            return self._ports[port]
+        except KeyError as exc:
+            raise TopologyError(f"{self.dpid} has no port {port}") from exc
+
+    def ports(self) -> Dict[int, object]:
+        """Port map snapshot."""
+        return dict(self._ports)
+
+    def set_packet_in_handler(self, handler: PacketInHandler) -> None:
+        """Wire the controller connection."""
+        self._packet_in = handler
+
+    # ------------------------------------------------------------ data path
+
+    def process(self, packet: Packet, in_port: int) -> Tuple[str, List[int]]:
+        """Run one packet through the pipeline.
+
+        Returns ``(verdict, output_ports)`` where verdict is ``"forwarded"``,
+        ``"dropped"``, or ``"no_rule"``.
+        """
+        self.packets_seen += 1
+        rule = self.table.lookup(packet, in_port)
+        if rule is None:
+            self.table_misses += 1
+            if self._packet_in is not None:
+                actions = self._packet_in(self, in_port, packet)
+                if actions:
+                    temp = FlowRule("packet-in-actions",
+                                    match=packet_exact_match(packet, in_port),
+                                    actions=tuple(actions))
+                    if temp.drops:
+                        self.packets_dropped += 1
+                        return ("dropped", [])
+                    return ("forwarded", temp.output_ports())
+            self.packets_dropped += 1
+            return ("no_rule", [])
+        if rule.drops:
+            self.packets_dropped += 1
+            return ("dropped", [])
+        return ("forwarded", rule.output_ports())
+
+
+def packet_exact_match(packet: Packet, in_port: int):
+    """An exact match over the packet's L2 addresses and input port."""
+    from repro.sdn.flows import FlowMatch
+
+    return FlowMatch.from_dict({
+        "in_port": in_port,
+        "eth_src": packet.eth_src,
+        "eth_dst": packet.eth_dst,
+    })

@@ -1,0 +1,99 @@
+"""Network topology: switches, inter-switch links, host attachments."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx
+
+from repro.errors import TopologyError
+from repro.sdn.switch import Switch
+
+
+class Topology:
+    """The controller's view of the forwarding plane."""
+
+    def __init__(self) -> None:
+        self._graph = networkx.Graph()
+        self._switches: Dict[str, Switch] = {}
+        self._host_attachment: Dict[str, Tuple[str, int]] = {}
+
+    # ------------------------------------------------------------ building
+
+    def add_switch(self, switch: Switch) -> None:
+        """Register a switch."""
+        if switch.dpid in self._switches:
+            raise TopologyError(f"duplicate dpid {switch.dpid}")
+        self._switches[switch.dpid] = switch
+        self._graph.add_node(switch.dpid, kind="switch")
+
+    def add_link(self, dpid_a: str, port_a: int,
+                 dpid_b: str, port_b: int) -> None:
+        """Connect two switches, wiring both port maps."""
+        switch_a = self.switch(dpid_a)
+        switch_b = self.switch(dpid_b)
+        switch_a.connect_port(port_a, (switch_b, port_b))
+        switch_b.connect_port(port_b, (switch_a, port_a))
+        self._graph.add_edge(dpid_a, dpid_b,
+                             ports={dpid_a: port_a, dpid_b: port_b})
+
+    def attach_host(self, host: str, dpid: str, port: int) -> None:
+        """Attach an end host to a switch port."""
+        switch = self.switch(dpid)
+        switch.connect_port(port, host)
+        self._host_attachment[host] = (dpid, port)
+        self._graph.add_node(host, kind="host")
+        self._graph.add_edge(host, dpid, ports={dpid: port})
+
+    # ------------------------------------------------------------- queries
+
+    def switch(self, dpid: str) -> Switch:
+        """Look up a switch by dpid."""
+        try:
+            return self._switches[dpid]
+        except KeyError as exc:
+            raise TopologyError(f"unknown switch {dpid!r}") from exc
+
+    def switches(self) -> List[Switch]:
+        """All switches."""
+        return list(self._switches.values())
+
+    def attachment_point(self, host: str) -> Tuple[str, int]:
+        """Where a host connects: ``(dpid, port)``."""
+        try:
+            return self._host_attachment[host]
+        except KeyError as exc:
+            raise TopologyError(f"host {host!r} not attached") from exc
+
+    def hosts(self) -> List[str]:
+        """All attached host names."""
+        return sorted(self._host_attachment)
+
+    def links(self) -> List[Tuple[str, str, Dict[str, int]]]:
+        """Inter-switch links as ``(dpid_a, dpid_b, ports)``."""
+        out = []
+        for a, b, data in self._graph.edges(data=True):
+            if (self._graph.nodes[a].get("kind") == "switch"
+                    and self._graph.nodes[b].get("kind") == "switch"):
+                out.append((a, b, data["ports"]))
+        return out
+
+    def shortest_path(self, src_host: str, dst_host: str) -> List[str]:
+        """Switch dpids along the shortest path between two hosts."""
+        if src_host not in self._graph or dst_host not in self._graph:
+            raise TopologyError("both hosts must be attached")
+        try:
+            path = networkx.shortest_path(self._graph, src_host, dst_host)
+        except networkx.NetworkXNoPath as exc:
+            raise TopologyError(
+                f"no path from {src_host} to {dst_host}"
+            ) from exc
+        return [node for node in path
+                if self._graph.nodes[node].get("kind") == "switch"]
+
+    def port_toward(self, dpid: str, next_hop: str) -> int:
+        """The port on ``dpid`` that faces ``next_hop`` (switch or host)."""
+        data = self._graph.get_edge_data(dpid, next_hop)
+        if data is None:
+            raise TopologyError(f"no link {dpid} <-> {next_hop}")
+        return data["ports"][dpid]

@@ -1,0 +1,50 @@
+"""A software model of Intel SGX.
+
+The model reproduces the *trust structure* of SGX rather than its silicon:
+
+- **Measurement** — an enclave's MRENCLAVE is built exactly the way the
+  hardware builds it: an ECREATE seed extended page by page over the
+  enclave's code image, finalized at EINIT (:mod:`repro.sgx.measurement`).
+- **Identity** — SIGSTRUCT binds the expected measurement to a vendor
+  signing key; MRSIGNER is the hash of that key
+  (:mod:`repro.sgx.sigstruct`).
+- **Isolation** — enclave-private memory is guarded: any access while
+  execution is not inside the enclave raises
+  :class:`repro.errors.EnclaveMemoryViolation` (:mod:`repro.sgx.memory`).
+  This is the invariant "credentials never leave the enclave" is tested
+  against.
+- **Sealing** — keys derived from a per-platform fuse key and the enclave
+  identity, with MRENCLAVE or MRSIGNER policy (:mod:`repro.sgx.sealing`).
+- **Local attestation** — EREPORT structures MACed with a per-target
+  report key (:mod:`repro.sgx.report`).
+- **Remote attestation** — a quoting enclave converts local reports into
+  EPID-signed quotes (:mod:`repro.sgx.quote`, :mod:`repro.sgx.epid`)
+  verifiable by the IAS model in :mod:`repro.ias`.
+- **Cost model** — ECALL/OCALL transitions and EPC paging charge cycles to
+  the virtual clock (:mod:`repro.sgx.ecall`), reproducing the performance
+  shape of enclave-terminated TLS (experiment E4).
+"""
+
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.enclave import Enclave, EnclaveImage
+from repro.sgx.sigstruct import SigStruct, sign_image
+from repro.sgx.measurement import measure_image
+from repro.sgx.sealing import seal, unseal, POLICY_MRENCLAVE, POLICY_MRSIGNER
+from repro.sgx.quote import Quote, QuotingEnclave
+from repro.sgx.ecall import CostModel
+
+__all__ = [
+    "SgxPlatform",
+    "Enclave",
+    "EnclaveImage",
+    "SigStruct",
+    "sign_image",
+    "measure_image",
+    "seal",
+    "unseal",
+    "POLICY_MRENCLAVE",
+    "POLICY_MRSIGNER",
+    "Quote",
+    "QuotingEnclave",
+    "CostModel",
+]

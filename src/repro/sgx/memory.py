@@ -1,0 +1,110 @@
+"""Enclave-private memory with an enforced isolation boundary.
+
+The EPC (enclave page cache) abstraction here is a guarded key/value store:
+reads and writes succeed only while the owning enclave is executing (i.e.
+between the ECALL entry and exit managed by :class:`repro.sgx.enclave.Enclave`).
+Anything else — host code, another enclave, test code playing adversary —
+gets :class:`repro.errors.EnclaveMemoryViolation`.  Security invariant I1
+("provisioned keys are unreadable from outside the enclave") is enforced
+here and tested by attempting exactly that access.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator
+
+from repro.errors import EnclaveMemoryViolation
+
+
+class EnclaveMemory:
+    """A key/value EPC region owned by one enclave.
+
+    The EPC is a scarce resource on real hardware (128 MiB-class); an
+    enclave whose working set exceeds its share pays paging costs.  The
+    model charges one page fault per resident-set slot beyond
+    ``epc_slots`` (see :meth:`attach_accountant`).
+    """
+
+    def __init__(self, owner_label: str, epc_slots: int = 64) -> None:
+        self._owner_label = owner_label
+        self._store: Dict[str, Any] = {}
+        self._inside = 0  # re-entrancy depth of enclave execution
+        self._epc_slots = epc_slots
+        self._accountant = None
+        self.page_faults = 0
+
+    def attach_accountant(self, accountant) -> None:
+        """Wire the transition accountant that paging costs charge to."""
+        self._accountant = accountant
+
+    def _maybe_page_fault(self) -> None:
+        if len(self._store) > self._epc_slots:
+            self.page_faults += 1
+            if self._accountant is not None:
+                self._accountant.charge_page_fault()
+
+    # ------------------------------------------------------------ the gate
+
+    def enter(self) -> None:
+        """Mark execution as inside the enclave (called on ECALL entry)."""
+        self._inside += 1
+
+    def exit(self) -> None:
+        """Mark execution as back outside (called on ECALL return)."""
+        if self._inside == 0:
+            raise EnclaveMemoryViolation(
+                f"{self._owner_label}: unbalanced enclave exit"
+            )
+        self._inside -= 1
+
+    @property
+    def accessible(self) -> bool:
+        """True while the owning enclave is executing."""
+        return self._inside > 0
+
+    def _check(self, operation: str) -> None:
+        if not self.accessible:
+            raise EnclaveMemoryViolation(
+                f"{operation} on enclave-private memory of "
+                f"{self._owner_label} from outside the enclave"
+            )
+
+    # ---------------------------------------------------------- kv interface
+
+    def read(self, key: str) -> Any:
+        """Read a private value (inside the enclave only)."""
+        self._check("read")
+        if key not in self._store:
+            raise KeyError(key)
+        return self._store[key]
+
+    def write(self, key: str, value: Any) -> None:
+        """Write a private value (inside the enclave only)."""
+        self._check("write")
+        self._store[key] = value
+        self._maybe_page_fault()
+
+    def delete(self, key: str) -> None:
+        """Delete a private value (inside the enclave only)."""
+        self._check("delete")
+        self._store.pop(key, None)
+
+    def contains(self, key: str) -> bool:
+        """Membership test (inside the enclave only)."""
+        self._check("contains")
+        return key in self._store
+
+    def keys(self) -> Iterator[str]:
+        """Iterate private keys (inside the enclave only)."""
+        self._check("keys")
+        return iter(list(self._store.keys()))
+
+    def wipe(self) -> None:
+        """Destroy all contents (enclave teardown; allowed from outside
+        because EREMOVE is a host-side operation that destroys, never
+        discloses)."""
+        self._store.clear()
+
+    def __len__(self) -> int:
+        # Size is host-visible metadata (the OS sees EPC allocation).
+        return len(self._store)

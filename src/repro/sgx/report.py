@@ -1,0 +1,118 @@
+"""Local attestation: EREPORT structures.
+
+An enclave asks the CPU to produce a report *targeted* at another enclave
+on the same platform; the report is MACed with a key only the target (and
+the CPU) can derive.  In this model the per-target report key is derived
+from a platform secret and the target's MRENCLAVE.  The quoting enclave
+consumes these reports when producing remotely verifiable quotes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.crypto.constant_time import ct_bytes_eq
+from repro.crypto.hmac import hmac_sha256
+from repro.errors import QuoteError
+from repro.pki import der
+
+REPORT_DATA_SIZE = 64
+
+
+@dataclass(frozen=True)
+class TargetInfo:
+    """Identifies the enclave a report is aimed at."""
+
+    mrenclave: bytes
+
+
+@dataclass(frozen=True)
+class Report:
+    """An EREPORT output: source identity + user data, MACed for the target.
+
+    ``report_data`` is the 64-byte user field; protocols put nonces and
+    key-binding hashes here, exactly as on real SGX.
+    """
+
+    mrenclave: bytes
+    mrsigner: bytes
+    isv_prod_id: int
+    isv_svn: int
+    report_data: bytes
+    target: TargetInfo
+    attributes: int = 0
+    mac: bytes = b""
+
+    def body_bytes(self) -> bytes:
+        """The MACed portion."""
+        return der.encode([
+            self.mrenclave, self.mrsigner, self.isv_prod_id, self.isv_svn,
+            self.report_data, self.target.mrenclave, self.attributes,
+        ])
+
+    def to_bytes(self) -> bytes:
+        """Serialized report."""
+        return der.encode([
+            self.mrenclave, self.mrsigner, self.isv_prod_id, self.isv_svn,
+            self.report_data, self.target.mrenclave, self.attributes,
+            self.mac,
+        ])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Report":
+        """Parse a serialized report."""
+        (mrenclave, mrsigner, isv_prod_id, isv_svn, report_data,
+         target_mrenclave, attributes, mac) = der.decode(data)
+        return cls(mrenclave, mrsigner, isv_prod_id, isv_svn, report_data,
+                   TargetInfo(target_mrenclave), attributes, mac)
+
+
+def create_report(platform_report_secret: bytes, source_identity,
+                  target: TargetInfo, report_data: bytes) -> Report:
+    """The CPU's EREPORT: build and MAC a report for ``target``.
+
+    Args:
+        platform_report_secret: the per-platform key-derivation secret.
+        source_identity: the calling enclave's identity (duck-typed:
+            ``mrenclave``/``mrsigner``/``isv_prod_id``/``isv_svn``).
+        target: the report's destination enclave.
+        report_data: exactly 64 bytes of user data.
+    """
+    if len(report_data) != REPORT_DATA_SIZE:
+        raise QuoteError(
+            f"report_data must be {REPORT_DATA_SIZE} bytes, "
+            f"got {len(report_data)}"
+        )
+    unsigned = Report(
+        mrenclave=source_identity.mrenclave,
+        mrsigner=source_identity.mrsigner,
+        isv_prod_id=source_identity.isv_prod_id,
+        isv_svn=source_identity.isv_svn,
+        report_data=report_data,
+        target=target,
+        attributes=getattr(source_identity, "attributes", 0),
+    )
+    key = derive_report_key(platform_report_secret, target.mrenclave)
+    return dataclasses.replace(
+        unsigned, mac=hmac_sha256(key, unsigned.body_bytes())
+    )
+
+
+def derive_report_key(platform_report_secret: bytes,
+                      target_mrenclave: bytes) -> bytes:
+    """EGETKEY(REPORT_KEY) for a given target."""
+    return hmac_sha256(platform_report_secret, b"report-key" + target_mrenclave)
+
+
+def verify_report(platform_report_secret: bytes, report: Report) -> None:
+    """Verify a report's MAC (only the target enclave can do this, because
+    only it can ask EGETKEY for its own report key).
+
+    Raises:
+        QuoteError: when the MAC does not verify.
+    """
+    key = derive_report_key(platform_report_secret, report.target.mrenclave)
+    expected = hmac_sha256(key, report.body_bytes())
+    if not ct_bytes_eq(expected, report.mac):
+        raise QuoteError("report MAC verification failed")

@@ -1,0 +1,103 @@
+"""SIGSTRUCT: the vendor's signed enclave manifest.
+
+EINIT accepts an enclave only if the SIGSTRUCT's signature verifies and its
+``enclave_hash`` matches the freshly computed MRENCLAVE.  MRSIGNER — the
+hash of the vendor's public key — becomes part of the enclave's identity
+and selects the key space for MRSIGNER-policy sealing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import EcPrivateKey, EcPublicKey
+from repro.crypto.sha256 import sha256
+from repro.errors import InvalidSignature, LaunchError
+from repro.pki import der
+from repro.sgx.measurement import measure_image
+
+
+@dataclass(frozen=True)
+class SigStruct:
+    """The signed enclave manifest.
+
+    Attributes:
+        enclave_hash: expected MRENCLAVE of the image.
+        vendor: human-readable vendor string.
+        isv_prod_id: product id within the vendor's key space.
+        isv_svn: security version number (monotonic per product).
+        attributes: enclave attribute flags.
+        signer_public: the vendor public key (SEC1 bytes).
+        signature: vendor signature over the body.
+    """
+
+    enclave_hash: bytes
+    vendor: str
+    isv_prod_id: int
+    isv_svn: int
+    attributes: int
+    signer_public: bytes
+    signature: bytes
+
+    def _body(self) -> bytes:
+        return der.encode([
+            self.enclave_hash, self.vendor, self.isv_prod_id,
+            self.isv_svn, self.attributes, self.signer_public,
+        ])
+
+    @property
+    def mrsigner(self) -> bytes:
+        """SHA-256 of the vendor public key."""
+        return sha256(self.signer_public)
+
+    def verify(self) -> None:
+        """Check the vendor's signature.
+
+        Raises:
+            LaunchError: when the signature is invalid.
+        """
+        try:
+            EcPublicKey.from_bytes(self.signer_public).verify(
+                self._body(), self.signature
+            )
+        except InvalidSignature as exc:
+            raise LaunchError("SIGSTRUCT signature invalid") from exc
+
+    def to_bytes(self) -> bytes:
+        """Serialized form (transported alongside enclave images)."""
+        return der.encode([
+            self.enclave_hash, self.vendor, self.isv_prod_id, self.isv_svn,
+            self.attributes, self.signer_public, self.signature,
+        ])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SigStruct":
+        """Parse a serialized SIGSTRUCT."""
+        (enclave_hash, vendor, isv_prod_id, isv_svn, attributes,
+         signer_public, signature) = der.decode(data)
+        return cls(enclave_hash, vendor, isv_prod_id, isv_svn, attributes,
+                   signer_public, signature)
+
+
+def sign_image(signing_key: EcPrivateKey, code: bytes, vendor: str,
+               isv_prod_id: int = 0, isv_svn: int = 1,
+               attributes: int = 0) -> SigStruct:
+    """Measure ``code`` and produce the vendor-signed SIGSTRUCT for it."""
+    unsigned = SigStruct(
+        enclave_hash=measure_image(code, attributes=attributes),
+        vendor=vendor,
+        isv_prod_id=isv_prod_id,
+        isv_svn=isv_svn,
+        attributes=attributes,
+        signer_public=signing_key.public.to_bytes(),
+        signature=b"",
+    )
+    return SigStruct(
+        enclave_hash=unsigned.enclave_hash,
+        vendor=vendor,
+        isv_prod_id=isv_prod_id,
+        isv_svn=isv_svn,
+        attributes=attributes,
+        signer_public=unsigned.signer_public,
+        signature=signing_key.sign(unsigned._body()),
+    )

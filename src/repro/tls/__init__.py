@@ -1,0 +1,24 @@
+"""A TLS-1.2-style protocol implemented from scratch.
+
+This is the library's analogue of the mbedTLS-SGX suite the paper embeds in
+its enclaves: ECDHE-ECDSA key exchange, AES-128/256-GCM record protection,
+SHA-256 PRF, optional mutual authentication (the controller's
+"trusted HTTPS" mode), and session resumption.
+
+The wire format follows TLS 1.2's structure (content types, handshake
+message framing, GCM nonce/AAD construction); certificates are this
+library's DER-lite certificates rather than X.509.  The properties the
+paper's argument needs — server/mutual authentication, confidentiality,
+session keys derived via ECDHE and never exposed outside the endpoint that
+derived them — all hold.
+
+Entry points: :class:`repro.tls.client.TlsClient` and
+:class:`repro.tls.server.TlsServer`.
+"""
+
+from repro.tls.client import TlsClient
+from repro.tls.server import TlsServer
+from repro.tls.connection import TlsConnection
+from repro.tls.session import TlsConfig, SessionCache
+
+__all__ = ["TlsClient", "TlsServer", "TlsConnection", "TlsConfig", "SessionCache"]

@@ -1,0 +1,59 @@
+"""TLS alert codes (RFC 5246 section 7.2) and helpers."""
+
+from __future__ import annotations
+
+from repro.errors import TlsAlert
+
+LEVEL_WARNING = 1
+LEVEL_FATAL = 2
+
+CLOSE_NOTIFY = 0
+UNEXPECTED_MESSAGE = 10
+BAD_RECORD_MAC = 20
+HANDSHAKE_FAILURE = 40
+BAD_CERTIFICATE = 42
+CERTIFICATE_REVOKED = 44
+CERTIFICATE_EXPIRED = 45
+CERTIFICATE_UNKNOWN = 46
+UNKNOWN_CA = 48
+ACCESS_DENIED = 49
+DECODE_ERROR = 50
+DECRYPT_ERROR = 51
+PROTOCOL_VERSION_ALERT = 70
+INTERNAL_ERROR = 80
+NO_RENEGOTIATION = 100
+
+ALERT_NAMES = {
+    CLOSE_NOTIFY: "close_notify",
+    UNEXPECTED_MESSAGE: "unexpected_message",
+    BAD_RECORD_MAC: "bad_record_mac",
+    HANDSHAKE_FAILURE: "handshake_failure",
+    BAD_CERTIFICATE: "bad_certificate",
+    CERTIFICATE_REVOKED: "certificate_revoked",
+    CERTIFICATE_EXPIRED: "certificate_expired",
+    CERTIFICATE_UNKNOWN: "certificate_unknown",
+    UNKNOWN_CA: "unknown_ca",
+    ACCESS_DENIED: "access_denied",
+    DECODE_ERROR: "decode_error",
+    DECRYPT_ERROR: "decrypt_error",
+    PROTOCOL_VERSION_ALERT: "protocol_version",
+    INTERNAL_ERROR: "internal_error",
+    NO_RENEGOTIATION: "no_renegotiation",
+}
+
+
+def encode_alert(level: int, description: int) -> bytes:
+    """Two-byte alert payload."""
+    return bytes((level, description))
+
+
+def decode_alert(payload: bytes) -> tuple:
+    """Parse an alert payload into ``(level, description)``."""
+    if len(payload) != 2:
+        raise TlsAlert(DECODE_ERROR, "malformed alert payload")
+    return payload[0], payload[1]
+
+
+def alert_name(description: int) -> str:
+    """Human-readable alert name."""
+    return ALERT_NAMES.get(description, f"alert_{description}")

@@ -1,0 +1,69 @@
+"""Cipher-suite definitions.
+
+Both suites use ECDHE-ECDSA key exchange with AES-GCM record protection —
+the same family mbedTLS-SGX negotiates in the paper's prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.crypto.gcm import AesGcm
+from repro.errors import HandshakeFailure
+
+
+@dataclass(frozen=True)
+class CipherSuite:
+    """Parameters of one negotiable suite."""
+
+    suite_id: int
+    name: str
+    key_length: int
+    fixed_iv_length: int
+
+    def create_aead(self, key: bytes) -> AesGcm:
+        """Instantiate the record-protection AEAD for ``key``."""
+        return AesGcm(key)
+
+
+TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256 = CipherSuite(
+    suite_id=0xC02B,
+    name="TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256",
+    key_length=16,
+    fixed_iv_length=4,
+)
+
+TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384 = CipherSuite(
+    suite_id=0xC02C,
+    name="TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384",
+    key_length=32,
+    fixed_iv_length=4,
+)
+
+SUPPORTED_SUITES: Dict[int, CipherSuite] = {
+    suite.suite_id: suite
+    for suite in (
+        TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256,
+        TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384,
+    )
+}
+
+DEFAULT_SUITE = TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256
+
+
+def lookup(suite_id: int) -> CipherSuite:
+    """Resolve a suite id, raising on unknown values."""
+    try:
+        return SUPPORTED_SUITES[suite_id]
+    except KeyError as exc:
+        raise HandshakeFailure(f"unsupported cipher suite 0x{suite_id:04x}") from exc
+
+
+def negotiate(offered: list) -> CipherSuite:
+    """Server-side choice: first supported suite in the client's order."""
+    for suite_id in offered:
+        suite = SUPPORTED_SUITES.get(suite_id)
+        if suite is not None:
+            return suite
+    raise HandshakeFailure("no cipher suite in common")

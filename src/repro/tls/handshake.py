@@ -1,0 +1,378 @@
+"""Handshake message encoding/decoding.
+
+Messages use TLS 1.2's framing (``type (1) || length (3) || body``) and
+field layouts; certificate payloads carry this library's DER-lite
+certificates.  A :class:`HandshakeBuffer` reassembles messages from record
+payloads and maintains the transcript both Finished computations and the
+CertificateVerify signature cover.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.crypto.sha256 import sha256
+from repro.errors import TlsError
+from repro.pki.certificate import Certificate
+from repro.pki.name import DistinguishedName
+from repro.tls.constants import (
+    CURVE_TYPE_NAMED,
+    HANDSHAKE_TYPE_NAMES,
+    HS_CERTIFICATE,
+    HS_CERTIFICATE_REQUEST,
+    HS_CERTIFICATE_VERIFY,
+    HS_CLIENT_HELLO,
+    HS_CLIENT_KEY_EXCHANGE,
+    HS_FINISHED,
+    HS_SERVER_HELLO,
+    HS_SERVER_HELLO_DONE,
+    HS_SERVER_KEY_EXCHANGE,
+    NAMED_CURVE_SECP256R1,
+    PROTOCOL_VERSION,
+    RANDOM_SIZE,
+)
+
+
+class _Reader:
+    """Sequential reader with explicit bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise TlsError("truncated handshake message")
+        out = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self.take(2))[0]
+
+    def u24(self) -> int:
+        high, low = struct.unpack(">BH", self.take(3))
+        return (high << 16) | low
+
+    def vec8(self) -> bytes:
+        return self.take(self.u8())
+
+    def vec16(self) -> bytes:
+        return self.take(self.u16())
+
+    def done(self) -> None:
+        if self._pos != len(self._data):
+            raise TlsError(
+                f"{len(self._data) - self._pos} trailing bytes in handshake body"
+            )
+
+
+def _u24(value: int) -> bytes:
+    return struct.pack(">BH", (value >> 16) & 0xFF, value & 0xFFFF)
+
+
+def _vec8(data: bytes) -> bytes:
+    if len(data) > 255:
+        raise TlsError("vec8 overflow")
+    return bytes([len(data)]) + data
+
+
+def _vec16(data: bytes) -> bytes:
+    if len(data) > 0xFFFF:
+        raise TlsError("vec16 overflow")
+    return struct.pack(">H", len(data)) + data
+
+
+def frame(msg_type: int, body: bytes) -> bytes:
+    """Wrap a message body in the handshake header."""
+    return bytes([msg_type]) + _u24(len(body)) + body
+
+
+# --------------------------------------------------------------- messages
+
+
+@dataclass
+class ClientHello:
+    random: bytes
+    session_id: bytes
+    cipher_suites: List[int]
+
+    def encode(self) -> bytes:
+        suites = b"".join(struct.pack(">H", s) for s in self.cipher_suites)
+        body = (
+            PROTOCOL_VERSION
+            + self.random
+            + _vec8(self.session_id)
+            + _vec16(suites)
+            + _vec8(b"\x00")  # null compression only
+        )
+        return frame(HS_CLIENT_HELLO, body)
+
+    @classmethod
+    def decode(cls, body: bytes) -> "ClientHello":
+        r = _Reader(body)
+        if r.take(2) != PROTOCOL_VERSION:
+            raise TlsError("unsupported protocol version in ClientHello")
+        random = r.take(RANDOM_SIZE)
+        session_id = r.vec8()
+        suites_raw = r.vec16()
+        if len(suites_raw) % 2:
+            raise TlsError("odd cipher-suite vector")
+        suites = [
+            struct.unpack(">H", suites_raw[i:i + 2])[0]
+            for i in range(0, len(suites_raw), 2)
+        ]
+        r.vec8()  # compression methods, ignored
+        r.done()
+        return cls(random, session_id, suites)
+
+
+@dataclass
+class ServerHello:
+    random: bytes
+    session_id: bytes
+    cipher_suite: int
+
+    def encode(self) -> bytes:
+        body = (
+            PROTOCOL_VERSION
+            + self.random
+            + _vec8(self.session_id)
+            + struct.pack(">H", self.cipher_suite)
+            + b"\x00"  # null compression
+        )
+        return frame(HS_SERVER_HELLO, body)
+
+    @classmethod
+    def decode(cls, body: bytes) -> "ServerHello":
+        r = _Reader(body)
+        if r.take(2) != PROTOCOL_VERSION:
+            raise TlsError("unsupported protocol version in ServerHello")
+        random = r.take(RANDOM_SIZE)
+        session_id = r.vec8()
+        suite = r.u16()
+        r.u8()  # compression
+        r.done()
+        return cls(random, session_id, suite)
+
+
+@dataclass
+class CertificateMsg:
+    chain: List[Certificate]
+
+    def encode(self) -> bytes:
+        entries = b"".join(
+            _u24(len(c.to_bytes())) + c.to_bytes() for c in self.chain
+        )
+        return frame(HS_CERTIFICATE, _u24(len(entries)) + entries)
+
+    @classmethod
+    def decode(cls, body: bytes) -> "CertificateMsg":
+        r = _Reader(body)
+        total = r.u24()
+        entries = _Reader(r.take(total))
+        r.done()
+        chain = []
+        while True:
+            try:
+                length = entries.u24()
+            except TlsError:
+                break
+            chain.append(Certificate.from_bytes(entries.take(length)))
+        return cls(chain)
+
+
+@dataclass
+class ServerKeyExchange:
+    """ECDHE params: named curve + ephemeral point, signed by the server."""
+
+    public_point: bytes  # SEC1 uncompressed
+    signature: bytes
+
+    @staticmethod
+    def signed_params(client_random: bytes, server_random: bytes,
+                      public_point: bytes) -> bytes:
+        """The bytes the server signs (RFC 4492 section 5.4)."""
+        return (
+            client_random
+            + server_random
+            + bytes([CURVE_TYPE_NAMED])
+            + struct.pack(">H", NAMED_CURVE_SECP256R1)
+            + _vec8(public_point)
+        )
+
+    def encode(self) -> bytes:
+        body = (
+            bytes([CURVE_TYPE_NAMED])
+            + struct.pack(">H", NAMED_CURVE_SECP256R1)
+            + _vec8(self.public_point)
+            + _vec16(self.signature)
+        )
+        return frame(HS_SERVER_KEY_EXCHANGE, body)
+
+    @classmethod
+    def decode(cls, body: bytes) -> "ServerKeyExchange":
+        r = _Reader(body)
+        if r.u8() != CURVE_TYPE_NAMED:
+            raise TlsError("unsupported ECDHE curve type")
+        if r.u16() != NAMED_CURVE_SECP256R1:
+            raise TlsError("unsupported named curve")
+        point = r.vec8()
+        signature = r.vec16()
+        r.done()
+        return cls(point, signature)
+
+
+@dataclass
+class CertificateRequest:
+    """Mutual-auth request listing the CAs the server trusts."""
+
+    authorities: List[DistinguishedName] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        names = b"".join(_vec16(dn.to_bytes()) for dn in self.authorities)
+        body = _vec8(b"\x40") + _vec16(names)  # cert type 0x40: ecdsa-sign
+        return frame(HS_CERTIFICATE_REQUEST, body)
+
+    @classmethod
+    def decode(cls, body: bytes) -> "CertificateRequest":
+        r = _Reader(body)
+        r.vec8()  # certificate types
+        names_raw = _Reader(r.vec16())
+        r.done()
+        authorities = []
+        while True:
+            try:
+                encoded = names_raw.vec16()
+            except TlsError:
+                break
+            authorities.append(DistinguishedName.from_bytes(encoded))
+        return cls(authorities)
+
+
+@dataclass
+class ServerHelloDone:
+    def encode(self) -> bytes:
+        return frame(HS_SERVER_HELLO_DONE, b"")
+
+    @classmethod
+    def decode(cls, body: bytes) -> "ServerHelloDone":
+        if body:
+            raise TlsError("ServerHelloDone carries no body")
+        return cls()
+
+
+@dataclass
+class ClientKeyExchange:
+    public_point: bytes
+
+    def encode(self) -> bytes:
+        return frame(HS_CLIENT_KEY_EXCHANGE, _vec8(self.public_point))
+
+    @classmethod
+    def decode(cls, body: bytes) -> "ClientKeyExchange":
+        r = _Reader(body)
+        point = r.vec8()
+        r.done()
+        return cls(point)
+
+
+@dataclass
+class CertificateVerify:
+    signature: bytes
+
+    def encode(self) -> bytes:
+        return frame(HS_CERTIFICATE_VERIFY, _vec16(self.signature))
+
+    @classmethod
+    def decode(cls, body: bytes) -> "CertificateVerify":
+        r = _Reader(body)
+        signature = r.vec16()
+        r.done()
+        return cls(signature)
+
+
+@dataclass
+class Finished:
+    verify_data: bytes
+
+    def encode(self) -> bytes:
+        return frame(HS_FINISHED, self.verify_data)
+
+    @classmethod
+    def decode(cls, body: bytes) -> "Finished":
+        return cls(body)
+
+
+_DECODERS = {
+    HS_CLIENT_HELLO: ClientHello.decode,
+    HS_SERVER_HELLO: ServerHello.decode,
+    HS_CERTIFICATE: CertificateMsg.decode,
+    HS_SERVER_KEY_EXCHANGE: ServerKeyExchange.decode,
+    HS_CERTIFICATE_REQUEST: CertificateRequest.decode,
+    HS_SERVER_HELLO_DONE: ServerHelloDone.decode,
+    HS_CLIENT_KEY_EXCHANGE: ClientKeyExchange.decode,
+    HS_CERTIFICATE_VERIFY: CertificateVerify.decode,
+    HS_FINISHED: Finished.decode,
+}
+
+
+class HandshakeBuffer:
+    """Reassembles handshake messages and keeps the running transcript.
+
+    ``transcript_hash`` covers every message appended so far — both sent
+    and received — in order, which is exactly what Finished verify_data
+    and CertificateVerify sign.
+    """
+
+    def __init__(self) -> None:
+        self._pending = bytearray()
+        self._transcript = bytearray()
+        # Transcript snapshots taken just before a CertificateVerify or
+        # Finished was appended: {msg_type: (hash, raw bytes)}.  Verifying
+        # those messages needs the transcript *excluding* themselves.
+        self.snapshot_before: dict = {}
+
+    def append_sent(self, framed: bytes) -> bytes:
+        """Record an outbound message in the transcript; returns it."""
+        self._transcript += framed
+        return framed
+
+    def feed(self, data: bytes) -> List[Tuple[int, object]]:
+        """Absorb record payload bytes; return decoded ``(type, message)``."""
+        self._pending += data
+        messages: List[Tuple[int, object]] = []
+        while len(self._pending) >= 4:
+            msg_type = self._pending[0]
+            length = (self._pending[1] << 16) | (self._pending[2] << 8) | self._pending[3]
+            if len(self._pending) < 4 + length:
+                break
+            framed = bytes(self._pending[:4 + length])
+            del self._pending[:4 + length]
+            decoder = _DECODERS.get(msg_type)
+            if decoder is None:
+                raise TlsError(f"unknown handshake type {msg_type}")
+            if msg_type in (HS_CERTIFICATE_VERIFY, HS_FINISHED):
+                snapshot = bytes(self._transcript)
+                self.snapshot_before[msg_type] = (sha256(snapshot), snapshot)
+            self._transcript += framed
+            messages.append((msg_type, decoder(framed[4:])))
+        return messages
+
+    def transcript_hash(self) -> bytes:
+        """SHA-256 over the transcript so far."""
+        return sha256(bytes(self._transcript))
+
+    def transcript_bytes(self) -> bytes:
+        """The raw transcript (CertificateVerify signs this)."""
+        return bytes(self._transcript)
+
+    @staticmethod
+    def type_name(msg_type: int) -> str:
+        """Readable name for diagnostics."""
+        return HANDSHAKE_TYPE_NAMES.get(msg_type, f"type_{msg_type}")

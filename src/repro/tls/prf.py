@@ -1,0 +1,20 @@
+"""The TLS 1.2 pseudo-random function (RFC 5246 section 5), P_SHA256 only."""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import hmac_sha256
+
+
+def p_sha256(secret: bytes, seed: bytes, length: int) -> bytes:
+    """The P_hash expansion with HMAC-SHA256."""
+    out = b""
+    a = seed
+    while len(out) < length:
+        a = hmac_sha256(secret, a)
+        out += hmac_sha256(secret, a + seed)
+    return out[:length]
+
+
+def prf(secret: bytes, label: bytes, seed: bytes, length: int) -> bytes:
+    """``PRF(secret, label, seed) = P_SHA256(secret, label + seed)``."""
+    return p_sha256(secret, label + seed, length)

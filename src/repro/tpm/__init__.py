@@ -1,0 +1,15 @@
+"""A TPM2-lite device model — the paper's future-work root of trust.
+
+Section 4 of the paper: the IML "is not currently protected by a hardware
+root of trust... Integrity measurements are thus vulnerable to tampering by
+an adversary having root access."  This subpackage implements the named
+fix: a TPM with extend-only PCR banks and an attestation identity key that
+signs quotes over selected PCRs, so a rewritten measurement log no longer
+matches the hardware aggregate (experiment E7).
+"""
+
+from repro.tpm.tpm import TpmDevice
+from repro.tpm.quote import TpmQuote
+from repro.tpm.aik import issue_aik_certificate
+
+__all__ = ["TpmDevice", "TpmQuote", "issue_aik_certificate"]

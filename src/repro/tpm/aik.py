@@ -1,0 +1,25 @@
+"""AIK certification: binding a TPM's attestation key to an identity.
+
+A privacy CA (in this deployment, the Verification Manager's CA) certifies
+the AIK public key so verifiers can trust quotes from a specific platform.
+"""
+
+from __future__ import annotations
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import Certificate, KEY_USAGE_DIGITAL_SIGNATURE
+from repro.pki.name import DistinguishedName
+from repro.tpm.tpm import TpmDevice
+
+
+def issue_aik_certificate(ca: CertificateAuthority, tpm: TpmDevice,
+                          platform_name: str, now: int,
+                          validity: int = 365 * 24 * 3600) -> Certificate:
+    """Certify a TPM's AIK for ``platform_name``."""
+    return ca.issue(
+        subject=DistinguishedName(f"aik:{platform_name}", "tpm"),
+        public_key_bytes=tpm.aik_public.to_bytes(),
+        now=now,
+        validity=validity,
+        key_usage=(KEY_USAGE_DIGITAL_SIGNATURE,),
+    )

@@ -1,0 +1,65 @@
+"""TPM quotes: AIK-signed statements about PCR contents."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto.keys import EcPublicKey
+from repro.errors import TpmError
+from repro.pki import der
+
+
+@dataclass(frozen=True)
+class TpmQuote:
+    """A signed snapshot of selected PCRs.
+
+    Attributes:
+        pcr_values: ``(index, value)`` pairs, ascending by index.
+        nonce: anti-replay challenge supplied by the verifier.
+        signature: AIK signature over the body.
+    """
+
+    pcr_values: Tuple[Tuple[int, bytes], ...]
+    nonce: bytes
+    signature: bytes = b""
+
+    def body_bytes(self) -> bytes:
+        """The signed portion."""
+        return der.encode([
+            [[index, value] for index, value in self.pcr_values],
+            self.nonce,
+        ])
+
+    def to_bytes(self) -> bytes:
+        """Serialized quote."""
+        return der.encode([
+            [[index, value] for index, value in self.pcr_values],
+            self.nonce,
+            self.signature,
+        ])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TpmQuote":
+        """Parse a serialized quote."""
+        raw_pcrs, nonce, signature = der.decode(data)
+        return cls(
+            pcr_values=tuple((entry[0], entry[1]) for entry in raw_pcrs),
+            nonce=nonce,
+            signature=signature,
+        )
+
+    def verify(self, aik_public: EcPublicKey) -> None:
+        """Check the AIK signature.
+
+        Raises:
+            repro.errors.InvalidSignature: on failure.
+        """
+        aik_public.verify(self.body_bytes(), self.signature)
+
+    def value_of(self, index: int) -> bytes:
+        """The quoted value of PCR ``index``."""
+        for pcr_index, value in self.pcr_values:
+            if pcr_index == index:
+                return value
+        raise TpmError(f"PCR {index} not covered by this quote")

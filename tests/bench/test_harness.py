@@ -1,0 +1,75 @@
+"""The benchmark harness: tables, measurement, workload generators."""
+
+import pytest
+
+from repro.bench.harness import Measurement, Table, measure
+from repro.bench.workloads import (
+    deployment_with_iml_size,
+    fleet_deployment,
+    synthetic_files,
+)
+from repro.net.clock import VirtualClock
+
+
+def test_table_renders_aligned():
+    table = Table("demo", ["name", "value"])
+    table.add_row("alpha", 1.23456)
+    table.add_row("a-much-longer-name", 42)
+    rendered = table.render()
+    lines = rendered.splitlines()
+    assert lines[0] == "== demo =="
+    assert "alpha" in rendered and "1.235" in rendered
+    assert len(lines) == 5
+
+
+def test_table_rejects_wrong_arity():
+    table = Table("demo", ["one", "two"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_table_column_access():
+    table = Table("demo", ["x", "y"])
+    table.add_row(1, 10)
+    table.add_row(2, 20)
+    assert table.column("y") == [10, 20]
+
+
+def test_measure_captures_both_clocks():
+    clock = VirtualClock()
+
+    def work():
+        clock.advance(0.25)
+        return "done"
+
+    measurement = measure(clock, work)
+    assert measurement.result == "done"
+    assert measurement.simulated_seconds == pytest.approx(0.25)
+    assert measurement.wall_seconds >= 0
+
+
+def test_measure_without_clock():
+    measurement = measure(None, lambda: 7)
+    assert measurement.result == 7
+    assert measurement.simulated_seconds == 0.0
+
+
+def test_synthetic_files_distinct_and_sized():
+    files = synthetic_files(10, size=64)
+    assert len(files) == 10
+    assert all(len(content) == 64 for content in files.values())
+    assert len(set(files.values())) == 10
+
+
+def test_deployment_with_iml_size_scales():
+    small = deployment_with_iml_size(16, seed=b"harness-small")
+    large = deployment_with_iml_size(128, seed=b"harness-large")
+    assert len(large.host.ima.iml) > len(small.host.ima.iml)
+    # Padded hosts still pass appraisal (golden values cover the padding).
+    result = large.vm.attest_host(large.agent_client, large.host.name)
+    assert result.trustworthy
+
+
+def test_fleet_deployment_sizing():
+    fleet = fleet_deployment(3, seed=b"harness-fleet")
+    assert fleet.vnf_names == ["vnf-1", "vnf-2", "vnf-3"]

@@ -1,0 +1,105 @@
+"""Registry pulls, runtime lifecycle, measurement integration."""
+
+import pytest
+
+from repro.containers.container import STATE_RUNNING, STATE_STOPPED
+from repro.containers.image import build_image
+from repro.containers.registry import Registry
+from repro.containers.runtime import ContainerRuntime
+from repro.errors import ContainerError, ContainerStateError, ImageNotFound
+from repro.ima.filesystem import SimulatedFilesystem
+
+
+@pytest.fixture
+def registry():
+    registry = Registry()
+    registry.push(build_image("vnf", "1.0", {"/usr/bin/vnf": b"bin"}))
+    return registry
+
+
+@pytest.fixture
+def runtime():
+    return ContainerRuntime(SimulatedFilesystem())
+
+
+def test_pull_known_image(registry):
+    image = registry.pull("vnf:1.0")
+    assert image.reference == "vnf:1.0"
+    assert len(registry) == 1
+    assert registry.catalog() == ["vnf:1.0"]
+
+
+def test_pull_unknown_raises(registry):
+    with pytest.raises(ImageNotFound):
+        registry.pull("ghost:latest")
+    with pytest.raises(ImageNotFound):
+        registry.digest_of("ghost:latest")
+
+
+def test_pinned_digest_checked(registry):
+    good = registry.digest_of("vnf:1.0")
+    assert registry.pull("vnf:1.0", expected_digest=good)
+    # Supply-chain attack: registry content replaced after pinning.
+    registry.push(build_image("vnf", "1.0", {"/usr/bin/vnf": b"trojan"}))
+    with pytest.raises(ContainerError):
+        registry.pull("vnf:1.0", expected_digest=good)
+
+
+def test_lifecycle(runtime, registry):
+    container = runtime.create(registry.pull("vnf:1.0"), labels={"app": "fw"})
+    assert container.state == "created"
+    runtime.start(container)
+    assert container.state == STATE_RUNNING
+    runtime.stop(container)
+    assert container.state == STATE_STOPPED
+    runtime.remove(container)
+    assert len(runtime) == 0
+
+
+def test_invalid_transitions(runtime, registry):
+    container = runtime.create(registry.pull("vnf:1.0"))
+    with pytest.raises(ContainerStateError):
+        container.mark_stopped()  # not running yet
+    runtime.start(container)
+    with pytest.raises(ContainerStateError):
+        runtime.remove(container)  # must stop first
+
+
+def test_start_materializes_files(runtime, registry):
+    container = runtime.create(registry.pull("vnf:1.0"))
+    runtime.start(container)
+    path = container.root_path + "/usr/bin/vnf"
+    assert runtime._fs.read_file(path) == b"bin"
+
+
+def test_remove_cleans_files(runtime, registry):
+    container = runtime.create(registry.pull("vnf:1.0"))
+    runtime.start(container)
+    runtime.stop(container)
+    runtime.remove(container)
+    assert runtime._fs.list_files("/var/lib/containers/") == []
+
+
+def test_file_write_hook_fires(registry):
+    seen = []
+    runtime = ContainerRuntime(SimulatedFilesystem(),
+                               on_file_written=seen.append)
+    runtime.start(runtime.create(registry.pull("vnf:1.0")))
+    assert any(path.endswith("/usr/bin/vnf") for path in seen)
+
+
+def test_container_ids_unique(runtime, registry):
+    image = registry.pull("vnf:1.0")
+    a, b = runtime.create(image), runtime.create(image)
+    assert a.container_id != b.container_id
+    assert runtime.get(a.container_id) is a
+    with pytest.raises(ContainerError):
+        runtime.get("ctr-9999")
+
+
+def test_list_running_only(runtime, registry):
+    image = registry.pull("vnf:1.0")
+    a, b = runtime.create(image), runtime.create(image)
+    runtime.start(a)
+    assert runtime.list_containers(running_only=True) == [a]
+    assert len(runtime.list_containers()) == 2

@@ -1,0 +1,17 @@
+"""Core-layer fixtures: a compact deployment per test."""
+
+import pytest
+
+from repro.core import Deployment
+
+
+@pytest.fixture
+def deployment():
+    """A fresh 1-VNF deployment (not yet enrolled)."""
+    return Deployment(seed=b"core-tests", vnf_count=1)
+
+
+@pytest.fixture
+def two_vnf_deployment():
+    """A fresh 2-VNF deployment (not yet enrolled)."""
+    return Deployment(seed=b"core-tests-2", vnf_count=2)

@@ -1,0 +1,145 @@
+"""The appraisal engine: expected values, consistency, TPM rooting."""
+
+import pytest
+
+from repro.core.appraisal import AppraisalEngine, ExpectedValues
+from repro.crypto.sha256 import sha256
+from repro.errors import AppraisalFailed
+from repro.ima.iml import ImaEntry, MeasurementList
+from repro.tpm.tpm import TpmDevice
+
+
+def build_iml(files):
+    iml = MeasurementList()
+    iml.boot_aggregate(sha256(b"boot"))
+    for path, content in files.items():
+        iml.append(ImaEntry(10, sha256(content), path))
+    return iml
+
+
+@pytest.fixture
+def golden():
+    expected = ExpectedValues()
+    expected.allow_content("/usr/bin/dockerd", b"docker")
+    expected.allow_content("/usr/bin/runc", b"runc")
+    return expected
+
+
+def test_clean_host_passes(golden):
+    iml = build_iml({"/usr/bin/dockerd": b"docker", "/usr/bin/runc": b"runc"})
+    engine = AppraisalEngine(golden)
+    result = engine.appraise(iml.to_bytes(), iml.aggregate())
+    assert result.trustworthy
+    assert result.entries_checked == 3
+    result.raise_if_failed()
+
+
+def test_modified_file_fails(golden):
+    iml = build_iml({"/usr/bin/dockerd": b"evil"})
+    result = AppraisalEngine(golden).appraise(iml.to_bytes(), iml.aggregate())
+    assert not result.trustworthy
+    assert any("hash mismatch" in failure for failure in result.failures)
+    with pytest.raises(AppraisalFailed):
+        result.raise_if_failed("host-x")
+
+
+def test_unexpected_path_fails(golden):
+    iml = build_iml({"/usr/bin/rootkit": b"x"})
+    result = AppraisalEngine(golden).appraise(iml.to_bytes(), iml.aggregate())
+    assert any("unexpected measured path" in f for f in result.failures)
+
+
+def test_allow_unknown_prefix(golden):
+    golden.allow_unknown_under("/opt/scratch/")
+    iml = build_iml({"/opt/scratch/tempfile": b"whatever"})
+    result = AppraisalEngine(golden).appraise(iml.to_bytes(), iml.aggregate())
+    assert result.trustworthy
+
+
+def test_multiple_golden_versions(golden):
+    golden.allow_content("/usr/bin/dockerd", b"docker-v2")  # second allowed
+    for content in (b"docker", b"docker-v2"):
+        iml = build_iml({"/usr/bin/dockerd": content})
+        assert AppraisalEngine(golden).appraise(
+            iml.to_bytes(), iml.aggregate()
+        ).trustworthy
+
+
+def test_missing_boot_aggregate_fails(golden):
+    iml = MeasurementList()
+    iml.append(ImaEntry(10, sha256(b"docker"), "/usr/bin/dockerd"))
+    result = AppraisalEngine(golden).appraise(iml.to_bytes(), iml.aggregate())
+    assert any("boot_aggregate" in f for f in result.failures)
+
+
+def test_inconsistent_aggregate_fails(golden):
+    iml = build_iml({"/usr/bin/dockerd": b"docker"})
+    result = AppraisalEngine(golden).appraise(iml.to_bytes(), sha256(b"lie"))
+    assert any("internally inconsistent" in f for f in result.failures)
+
+
+def test_tpm_policy_requires_quote(golden):
+    engine = AppraisalEngine(golden, require_tpm=True)
+    iml = build_iml({"/usr/bin/dockerd": b"docker"})
+    result = engine.appraise(iml.to_bytes(), iml.aggregate())
+    assert any("TPM quote required" in f for f in result.failures)
+
+
+def test_tpm_quote_validates(golden, rng):
+    tpm = TpmDevice(rng)
+    iml = MeasurementList()
+    iml.boot_aggregate(sha256(b"boot"))
+    tpm.extend(10, iml.entries[0].template_hash())
+    entry = ImaEntry(10, sha256(b"docker"), "/usr/bin/dockerd")
+    iml.append(entry)
+    tpm.extend(10, entry.template_hash())
+
+    engine = AppraisalEngine(golden, require_tpm=True)
+    quote = tpm.quote([10], nonce=b"challenge")
+    result = engine.appraise(iml.to_bytes(), iml.aggregate(),
+                             tpm_quote_bytes=quote.to_bytes(),
+                             aik_public=tpm.aik_public, nonce=b"challenge")
+    assert result.trustworthy
+    assert result.tpm_verified
+
+
+def test_tpm_detects_rewritten_log(golden, rng):
+    tpm = TpmDevice(rng)
+    iml = MeasurementList()
+    iml.boot_aggregate(sha256(b"boot"))
+    tpm.extend(10, iml.entries[0].template_hash())
+    evil = ImaEntry(10, sha256(b"evil"), "/usr/bin/dockerd")
+    tpm.extend(10, evil.template_hash())  # hardware saw the rootkit
+    # ...but the shipped log claims the golden hash, self-consistently.
+    iml.append(ImaEntry(10, sha256(b"docker"), "/usr/bin/dockerd"))
+
+    engine = AppraisalEngine(golden, require_tpm=True)
+    quote = tpm.quote([10], nonce=b"n")
+    result = engine.appraise(iml.to_bytes(), iml.aggregate(),
+                             tpm_quote_bytes=quote.to_bytes(),
+                             aik_public=tpm.aik_public, nonce=b"n")
+    assert not result.trustworthy
+    assert any("rewritten" in f for f in result.failures)
+
+
+def test_tpm_nonce_replay_detected(golden, rng):
+    tpm = TpmDevice(rng)
+    iml = build_iml({"/usr/bin/dockerd": b"docker"})
+    for entry in iml.entries:
+        tpm.extend(10, entry.template_hash())
+    old_quote = tpm.quote([10], nonce=b"old")
+    engine = AppraisalEngine(golden, require_tpm=True)
+    result = engine.appraise(iml.to_bytes(), iml.aggregate(),
+                             tpm_quote_bytes=old_quote.to_bytes(),
+                             aik_public=tpm.aik_public, nonce=b"fresh")
+    assert any("nonce" in f for f in result.failures)
+
+
+def test_tpm_missing_aik(golden, rng):
+    tpm = TpmDevice(rng)
+    iml = build_iml({"/usr/bin/dockerd": b"docker"})
+    engine = AppraisalEngine(golden, require_tpm=True)
+    result = engine.appraise(iml.to_bytes(), iml.aggregate(),
+                             tpm_quote_bytes=tpm.quote([10], b"n").to_bytes(),
+                             aik_public=None, nonce=b"n")
+    assert any("AIK" in f for f in result.failures)

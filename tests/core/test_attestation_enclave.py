@@ -1,0 +1,90 @@
+"""The host-side integrity attestation enclave."""
+
+import pytest
+
+from repro.core.attestation_enclave import (
+    AttestationEnclave,
+    QuotedEvidence,
+    attestation_report_data,
+    reference_measurement,
+)
+from repro.ima.iml import MeasurementList
+
+
+def test_evidence_collection(deployment):
+    evidence = deployment.attestation_enclave.collect_quoted_evidence(
+        b"\x01" * 16, b"deployment"
+    )
+    iml = MeasurementList.from_bytes(evidence.iml_bytes)
+    assert len(iml) == len(deployment.host.ima.iml)
+    assert evidence.aggregate == deployment.host.ima.iml.aggregate()
+    assert evidence.quote.basename == b"deployment"
+
+
+def test_report_data_binds_evidence(deployment):
+    nonce = b"\x02" * 16
+    evidence = deployment.attestation_enclave.collect_quoted_evidence(
+        nonce, b"d"
+    )
+    assert evidence.quote.report_data == attestation_report_data(
+        evidence.iml_bytes, evidence.aggregate, evidence.tpm_quote_bytes,
+        nonce,
+    )
+
+
+def test_nonce_changes_binding(deployment):
+    a = deployment.attestation_enclave.collect_quoted_evidence(b"\x01" * 16,
+                                                               b"d")
+    b = deployment.attestation_enclave.collect_quoted_evidence(b"\x02" * 16,
+                                                               b"d")
+    assert a.quote.report_data != b.quote.report_data
+
+
+def test_measurement_matches_reference(deployment):
+    assert (deployment.attestation_enclave.enclave.mrenclave
+            == reference_measurement())
+
+
+def test_no_tpm_evidence_without_tpm(deployment):
+    evidence = deployment.attestation_enclave.collect_quoted_evidence(
+        b"\x00" * 16, b"d"
+    )
+    assert evidence.tpm_quote_bytes == b""
+
+
+def test_tpm_evidence_with_tpm():
+    from repro.core import Deployment
+    from repro.tpm.quote import TpmQuote
+
+    deployment = Deployment(seed=b"att-tpm", vnf_count=1, with_tpm=True)
+    nonce = b"\x03" * 16
+    evidence = deployment.attestation_enclave.collect_quoted_evidence(
+        nonce, b"d"
+    )
+    quote = TpmQuote.from_bytes(evidence.tpm_quote_bytes)
+    quote.verify(deployment.host.tpm.aik_public)
+    assert quote.nonce == nonce
+    assert quote.value_of(10) == evidence.aggregate
+
+
+def test_evidence_serialization_roundtrip(deployment):
+    evidence = deployment.attestation_enclave.collect_quoted_evidence(
+        b"\x04" * 16, b"d"
+    )
+    restored = QuotedEvidence.from_bytes(evidence.to_bytes())
+    assert restored.iml_bytes == evidence.iml_bytes
+    assert restored.aggregate == evidence.aggregate
+    assert restored.quote == evidence.quote
+
+
+def test_evidence_reflects_later_tampering(deployment):
+    before = deployment.attestation_enclave.collect_quoted_evidence(
+        b"\x05" * 16, b"d"
+    )
+    deployment.host.tamper_file("/usr/bin/dockerd", b"evil")
+    after = deployment.attestation_enclave.collect_quoted_evidence(
+        b"\x06" * 16, b"d"
+    )
+    assert len(MeasurementList.from_bytes(after.iml_bytes)) == (
+        len(MeasurementList.from_bytes(before.iml_bytes)) + 1
+    )

@@ -1,0 +1,85 @@
+"""The CSR provisioning variant: keys generated inside the enclave."""
+
+import pytest
+
+from repro.errors import AttestationFailed, ProvisioningError, ReproError
+
+
+@pytest.fixture
+def attested(deployment):
+    deployment.vm.attest_host(deployment.agent_client, deployment.host.name)
+    return deployment
+
+
+def test_csr_enrollment_end_to_end(attested):
+    certificate = attested.vm.enroll_vnf_csr(
+        attested.agent_client, attested.host.name, "vnf-1",
+        str(attested.controller_address()),
+    )
+    certificate.verify_signature(attested.vm.ca.certificate.public_key)
+    assert attested.credential_enclaves["vnf-1"].has_credentials()
+    assert attested.enclave_client("vnf-1").summary()["controller"] == (
+        "floodlight"
+    )
+
+
+def test_csr_requires_trusted_host(deployment):
+    with pytest.raises(AttestationFailed):
+        deployment.vm.enroll_vnf_csr(
+            deployment.agent_client, deployment.host.name, "vnf-1",
+            str(deployment.controller_address()),
+        )
+
+
+def test_csr_key_never_leaves_enclave(attested):
+    attested.vm.enroll_vnf_csr(
+        attested.agent_client, attested.host.name, "vnf-1",
+        str(attested.controller_address()),
+    )
+    from repro.errors import EnclaveMemoryViolation
+
+    enclave = attested.credential_enclaves["vnf-1"].enclave
+    with pytest.raises(EnclaveMemoryViolation):
+        enclave.memory.read("csr_key")
+    with pytest.raises(EnclaveMemoryViolation):
+        enclave.memory.read("bundle")
+
+
+def test_install_certificate_checks_key_match(attested, pki):
+    # Get a CSR flow started, then try installing a certificate for a
+    # *different* key: the enclave must refuse.
+    enclave = attested.credential_enclaves["vnf-1"]
+    enclave.generate_csr("vnf-1", b"\x00" * 16)
+    with pytest.raises(ProvisioningError):
+        enclave.install_certificate(
+            pki.client_cert.to_bytes(), (pki.ca.certificate.to_bytes(),),
+            "controller:9443",
+        )
+
+
+def test_install_without_csr_refused(attested):
+    enclave = attested.credential_enclaves["vnf-1"]
+    with pytest.raises(ProvisioningError):
+        enclave.enclave.ecall("install_certificate", b"cert", (), "x:1")
+
+
+def test_csr_revocation_works_like_standard(attested):
+    attested.vm.enroll_vnf_csr(
+        attested.agent_client, attested.host.name, "vnf-1",
+        str(attested.controller_address()),
+    )
+    client = attested.enclave_client("vnf-1")
+    assert client.summary()
+    attested.vm.revoke_vnf("vnf-1")
+    client.close()
+    with pytest.raises(ReproError):
+        client.summary()
+
+
+def test_csr_audit_marks_variant(attested):
+    attested.vm.enroll_vnf_csr(
+        attested.agent_client, attested.host.name, "vnf-1",
+        str(attested.controller_address()),
+    )
+    events = attested.vm.audit.events("credential-issued")
+    assert any("(csr)" in event.details for event in events)

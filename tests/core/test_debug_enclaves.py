@@ -1,0 +1,69 @@
+"""DEBUG-attribute enclaves: host-readable memory, so never trusted."""
+
+import pytest
+
+from repro.core.credential_enclave import (
+    CredentialEnclave,
+    credential_enclave_image,
+)
+from repro.errors import AttestationFailed
+from repro.sgx.enclave import ATTRIBUTE_DEBUG
+from repro.sgx.measurement import measure_image
+from repro.sgx.sigstruct import sign_image
+
+
+@pytest.fixture
+def debug_vnf(deployment):
+    """Replace vnf-1's enclave with a DEBUG-mode build of the same code."""
+    image = credential_enclave_image(deployment.network,
+                                     deployment.host.name)
+    sigstruct = sign_image(deployment.vendor_key, image.code,
+                           vendor="RISE-credentials", isv_prod_id=200,
+                           isv_svn=1, attributes=ATTRIBUTE_DEBUG)
+    debug_enclave = CredentialEnclave.__new__(CredentialEnclave)
+    debug_enclave.host = deployment.host
+    debug_enclave.vnf_name = "vnf-1"
+    debug_enclave.enclave = deployment.host.platform.create_enclave(
+        image, sigstruct, label="debug-tee"
+    )
+    deployment.agent.register_vnf(debug_enclave)
+    return deployment
+
+
+def test_debug_identity_flagged(debug_vnf):
+    enclave = debug_vnf.agent.credential_enclave("vnf-1").enclave
+    assert enclave.identity.debug
+
+
+def test_debug_quote_carries_attribute(debug_vnf):
+    debug_vnf.vm.attest_host(debug_vnf.agent_client, debug_vnf.host.name)
+    # Even with a policy that expects the DEBUG build's measurement...
+    debug_vnf.vm.policy.expected_credential_mrenclave = measure_image(
+        credential_enclave_image(debug_vnf.network,
+                                 debug_vnf.host.name).code,
+        attributes=ATTRIBUTE_DEBUG,
+    )
+    # ...the default policy still refuses it because of the DEBUG bit.
+    with pytest.raises(AttestationFailed) as excinfo:
+        debug_vnf.vm.attest_vnf(debug_vnf.agent_client,
+                                debug_vnf.host.name, "vnf-1")
+    assert "DEBUG" in str(excinfo.value)
+
+
+def test_debug_allowed_when_policy_permits(debug_vnf):
+    debug_vnf.vm.policy.allow_debug_enclaves = True
+    debug_vnf.vm.policy.expected_credential_mrenclave = measure_image(
+        credential_enclave_image(debug_vnf.network,
+                                 debug_vnf.host.name).code,
+        attributes=ATTRIBUTE_DEBUG,
+    )
+    debug_vnf.vm.attest_host(debug_vnf.agent_client, debug_vnf.host.name)
+    delivery_key = debug_vnf.vm.attest_vnf(debug_vnf.agent_client,
+                                           debug_vnf.host.name, "vnf-1")
+    assert len(delivery_key) == 65  # dev-mode deployments can opt in
+
+
+def test_production_enclaves_are_not_debug(deployment):
+    for enclave in deployment.credential_enclaves.values():
+        assert not enclave.enclave.identity.debug
+    assert not deployment.attestation_enclave.enclave.identity.debug

@@ -1,0 +1,108 @@
+"""The enrolment state machine and the executable Figure 1 workflow."""
+
+import pytest
+
+from repro.core.enrollment import (
+    STATE_ENROLLED,
+    STATE_FAILED,
+    STATE_HOST_ATTESTED,
+    STATE_INIT,
+    EnrollmentSession,
+)
+from repro.errors import AppraisalFailed, EnrollmentError
+
+
+def make_session(deployment, vnf_name="vnf-1"):
+    return EnrollmentSession(
+        vm=deployment.vm,
+        agent=deployment.agent_client,
+        host_name=deployment.host.name,
+        vnf_name=vnf_name,
+        controller_address=str(deployment.controller_address()),
+        sim_now=deployment.clock.now,
+    )
+
+
+def test_state_progression(deployment):
+    session = make_session(deployment)
+    assert session.state == STATE_INIT
+    session.attest_host()
+    assert session.state == STATE_HOST_ATTESTED
+    session.provision()
+    session.connect(deployment.enclave_client("vnf-1"))
+    assert session.state == STATE_ENROLLED
+    assert session.certificate_serial is not None
+
+
+def test_steps_must_run_in_order(deployment):
+    session = make_session(deployment)
+    with pytest.raises(EnrollmentError):
+        session.provision()
+    with pytest.raises(EnrollmentError):
+        session.connect(deployment.enclave_client("vnf-1"))
+
+
+def test_failure_marks_session(deployment):
+    deployment.host.tamper_file("/usr/bin/dockerd", b"rootkit")
+    session = make_session(deployment)
+    with pytest.raises(AppraisalFailed):
+        session.attest_host()
+    assert session.state == STATE_FAILED
+
+
+def test_timings_recorded_per_step(deployment):
+    session = make_session(deployment)
+    session.run(deployment.enclave_client("vnf-1"))
+    assert len(session.timings) == 3
+    steps = [timing.step for timing in session.timings]
+    assert "host-attestation (steps 1-2)" in steps[0]
+    assert all(t.simulated_seconds > 0 for t in session.timings)
+    assert session.total_simulated_seconds == pytest.approx(
+        sum(t.simulated_seconds for t in session.timings)
+    )
+
+
+def test_run_workflow_all_vnfs(two_vnf_deployment):
+    trace = two_vnf_deployment.run_workflow()
+    assert set(trace.per_vnf) == {"vnf-1", "vnf-2"}
+    assert trace.simulated_seconds > 0
+    assert "network" in trace.clock_charges
+    assert "enclave-transitions" in trace.clock_charges
+    totals = trace.step_totals()
+    assert len(totals) == 3
+
+
+def test_workflow_is_deterministic():
+    from repro.core import Deployment
+
+    a = Deployment(seed=b"det", vnf_count=1).run_workflow()
+    b = Deployment(seed=b"det", vnf_count=1).run_workflow()
+    assert a.simulated_seconds == pytest.approx(b.simulated_seconds)
+    for step_a, step_b in zip(a.per_vnf["vnf-1"], b.per_vnf["vnf-1"]):
+        assert step_a.simulated_seconds == pytest.approx(
+            step_b.simulated_seconds
+        )
+
+
+def test_keystore_mode_populates_keystore():
+    from repro.core import Deployment
+    from repro.core.workflow import VALIDATION_KEYSTORE
+
+    deployment = Deployment(seed=b"ks", vnf_count=2,
+                            client_validation=VALIDATION_KEYSTORE)
+    deployment.run_workflow()
+    assert len(deployment.keystore) == 2
+    assert deployment.enclave_client("vnf-1").summary()
+
+
+def test_ca_mode_keystore_stays_empty(two_vnf_deployment):
+    two_vnf_deployment.run_workflow()
+    assert len(two_vnf_deployment.keystore) == 0
+
+
+def test_invalid_validation_model_rejected():
+    from repro.core import Deployment
+    from repro.errors import VnfSgxError
+
+    with pytest.raises(VnfSgxError):
+        Deployment(client_validation="blockchain")

@@ -1,0 +1,82 @@
+"""Multi-host deployments: placement, per-host trust, containment."""
+
+import pytest
+
+from repro.core import Deployment
+from repro.errors import ReproError, VnfSgxError
+
+
+@pytest.fixture
+def fleet():
+    return Deployment(seed=b"multihost-tests", vnf_count=4, host_count=2)
+
+
+def test_round_robin_placement(fleet):
+    assert fleet.vnf_host["vnf-1"].name == "container-host-1"
+    assert fleet.vnf_host["vnf-2"].name == "container-host-2"
+    assert fleet.vnf_host["vnf-3"].name == "container-host-1"
+    assert fleet.vnf_host["vnf-4"].name == "container-host-2"
+
+
+def test_all_vnfs_enroll_across_hosts(fleet):
+    trace = fleet.run_workflow()
+    assert set(trace.per_vnf) == {"vnf-1", "vnf-2", "vnf-3", "vnf-4"}
+    for vnf_name in fleet.vnf_names:
+        assert fleet.enclave_client(vnf_name).summary()
+
+
+def test_hosts_have_distinct_platforms(fleet):
+    a, b = fleet.hosts
+    assert a.platform is not b.platform
+    assert a.platform._fuse_key != b.platform._fuse_key
+
+
+def test_single_host_aliases_still_work(fleet):
+    assert fleet.host is fleet.hosts[0]
+    assert fleet.agent_client is fleet.agent_clients[fleet.host.name]
+
+
+def test_distrust_contains_blast_radius(fleet):
+    fleet.run_workflow()
+    revoked = fleet.vm.distrust_host("container-host-2")
+    assert set(revoked) == {"vnf-2", "vnf-4"}
+    # Host-1 VNFs keep working.
+    assert fleet.enclave_client("vnf-1").summary()
+    assert fleet.enclave_client("vnf-3").summary()
+    # Host-2 VNFs are locked out.
+    for victim in ("vnf-2", "vnf-4"):
+        client = fleet.enclave_client(victim)
+        client.close()
+        with pytest.raises(ReproError):
+            client.summary()
+
+
+def test_one_tampered_host_does_not_poison_the_other(fleet):
+    fleet.hosts[1].tamper_file("/usr/bin/dockerd", b"rootkit")
+    # Host 1 enrols fine.
+    session = fleet.enroll("vnf-1")
+    assert session.state == "enrolled"
+    # Host 2 fails appraisal.
+    from repro.errors import AppraisalFailed
+
+    with pytest.raises(AppraisalFailed):
+        fleet.enroll("vnf-2")
+    assert fleet.vm.host_trusted("container-host-1")
+    assert not fleet.vm.host_trusted("container-host-2")
+
+
+def test_cross_host_sealed_blobs_do_not_transfer(fleet):
+    fleet.enroll("vnf-1")  # on host 1
+    sealed = fleet.credential_enclaves["vnf-1"].seal_credentials()
+    from repro.core.credential_enclave import CredentialEnclave
+    from repro.errors import SealingError
+
+    foreign = CredentialEnclave(fleet.hosts[1], fleet.vendor_key,
+                                fleet.network, "vnf-1")
+    with pytest.raises(SealingError):
+        foreign.restore_credentials(sealed)
+
+
+def test_invalid_host_count_rejected():
+    with pytest.raises(VnfSgxError):
+        Deployment(host_count=0)

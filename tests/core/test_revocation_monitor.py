@@ -1,0 +1,47 @@
+"""The re-attestation monitor."""
+
+import pytest
+
+from repro.core.revocation import ReattestationMonitor
+from repro.errors import ReproError
+
+
+def test_pristine_sweep_keeps_trust(deployment):
+    deployment.enroll("vnf-1")
+    monitor = ReattestationMonitor(deployment.vm)
+    monitor.watch(deployment.host.name, deployment.agent_client)
+    [outcome] = monitor.sweep()
+    assert outcome.trustworthy
+    assert outcome.revoked_vnfs == []
+    assert monitor.sweeps == 1
+
+
+def test_tampered_host_gets_revoked(deployment):
+    deployment.enroll("vnf-1")
+    monitor = ReattestationMonitor(deployment.vm, ias_service=deployment.ias)
+    monitor.watch(deployment.host.name, deployment.agent_client)
+    deployment.host.tamper_file("/usr/sbin/sshd", b"backdoor")
+    [outcome] = monitor.sweep()
+    assert not outcome.trustworthy
+    assert outcome.revoked_vnfs == ["vnf-1"]
+    assert outcome.failures
+    # Platform EPID key revoked at IAS too.
+    from repro.ias.service import QuoteStatus
+
+    evidence = deployment.agent_client.attest_host(b"\x00" * 16,
+                                                   b"vnf-sgx-deployment")
+    avr = deployment.ias_client.verify_quote(evidence.quote.to_bytes())
+    assert avr.quote_status == QuoteStatus.KEY_REVOKED
+
+
+def test_revoked_vnf_cannot_reconnect(deployment):
+    deployment.enroll("vnf-1")
+    client = deployment.enclave_client("vnf-1")
+    assert client.summary()
+    monitor = ReattestationMonitor(deployment.vm)
+    monitor.watch(deployment.host.name, deployment.agent_client)
+    deployment.host.tamper_file("/usr/sbin/sshd", b"backdoor")
+    monitor.sweep()
+    client.close()
+    with pytest.raises(ReproError):
+        client.summary()

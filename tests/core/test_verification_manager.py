@@ -1,0 +1,118 @@
+"""The Verification Manager: attestation decisions, issuance, revocation."""
+
+import pytest
+
+from repro.core import events as ev
+from repro.errors import AttestationFailed, RevocationError, VnfSgxError
+
+
+def test_attest_host_success(deployment):
+    result = deployment.vm.attest_host(deployment.agent_client,
+                                       deployment.host.name)
+    assert result.trustworthy
+    assert deployment.vm.host_trusted(deployment.host.name)
+    assert deployment.vm.audit.events(ev.EVENT_HOST_ATTESTED)
+
+
+def test_attest_host_tampered_fails_appraisal(deployment):
+    deployment.host.tamper_file("/usr/bin/dockerd", b"rootkit")
+    result = deployment.vm.attest_host(deployment.agent_client,
+                                       deployment.host.name)
+    assert not result.trustworthy
+    assert not deployment.vm.host_trusted(deployment.host.name)
+    assert deployment.vm.audit.events(ev.EVENT_APPRAISAL_FAILED)
+
+
+def test_vnf_attestation_requires_trusted_host(deployment):
+    with pytest.raises(AttestationFailed):
+        deployment.vm.attest_vnf(deployment.agent_client,
+                                 deployment.host.name, "vnf-1")
+
+
+def test_vnf_attestation_returns_bound_key(deployment):
+    deployment.vm.attest_host(deployment.agent_client, deployment.host.name)
+    delivery_public = deployment.vm.attest_vnf(
+        deployment.agent_client, deployment.host.name, "vnf-1"
+    )
+    assert len(delivery_public) == 65  # SEC1 uncompressed point
+
+
+def test_enroll_issues_and_provisions(deployment):
+    deployment.vm.attest_host(deployment.agent_client, deployment.host.name)
+    certificate = deployment.vm.enroll_vnf(
+        deployment.agent_client, deployment.host.name, "vnf-1",
+        str(deployment.controller_address()),
+    )
+    assert certificate.subject.common_name == "vnf-1"
+    certificate.verify_signature(deployment.vm.ca.certificate.public_key)
+    assert deployment.credential_enclaves["vnf-1"].has_credentials()
+    assert deployment.vm.issued_certificate("vnf-1") == certificate
+
+
+def test_revoked_platform_cannot_attest(deployment):
+    deployment.ias.revoke_platform(deployment.host.name)
+    with pytest.raises(AttestationFailed) as excinfo:
+        deployment.vm.attest_host(deployment.agent_client,
+                                  deployment.host.name)
+    assert "KEY_REVOKED" in str(excinfo.value)
+
+
+def test_wrong_enclave_identity_rejected(deployment):
+    # Point the policy at a different expected measurement: the genuine
+    # enclave must now be refused (models a stale/typo policy).
+    deployment.vm.policy.expected_attestation_mrenclave = b"\x00" * 32
+    with pytest.raises(AttestationFailed) as excinfo:
+        deployment.vm.attest_host(deployment.agent_client,
+                                  deployment.host.name)
+    assert "MRENCLAVE" in str(excinfo.value)
+
+
+def test_svn_floor_enforced(deployment):
+    deployment.vm.policy.min_isv_svn = 99
+    with pytest.raises(AttestationFailed) as excinfo:
+        deployment.vm.attest_host(deployment.agent_client,
+                                  deployment.host.name)
+    assert "SVN" in str(excinfo.value)
+
+
+def test_revoke_vnf_updates_crl(deployment):
+    deployment.enroll("vnf-1")
+    certificate = deployment.vm.issued_certificate("vnf-1")
+    deployment.vm.revoke_vnf("vnf-1")
+    crl = deployment.vm.ca.current_crl(0)
+    assert crl.is_revoked(certificate.serial)
+    assert deployment.vm.audit.events(ev.EVENT_CREDENTIAL_REVOKED)
+
+
+def test_revoke_unknown_vnf_raises(deployment):
+    with pytest.raises(RevocationError):
+        deployment.vm.revoke_vnf("ghost")
+
+
+def test_distrust_host_revokes_everything(two_vnf_deployment):
+    deployment = two_vnf_deployment
+    deployment.run_workflow()
+    revoked = deployment.vm.distrust_host(deployment.host.name)
+    assert set(revoked) == {"vnf-1", "vnf-2"}
+    assert not deployment.vm.host_trusted(deployment.host.name)
+    crl = deployment.vm.ca.current_crl(0)
+    for vnf_name in revoked:
+        assert crl.is_revoked(
+            deployment.vm.issued_certificate(vnf_name).serial
+        )
+
+
+def test_distrust_unattested_host_raises(deployment):
+    with pytest.raises(RevocationError):
+        deployment.vm.distrust_host("never-seen")
+
+
+def test_issued_certificate_unknown_vnf(deployment):
+    with pytest.raises(VnfSgxError):
+        deployment.vm.issued_certificate("ghost")
+
+
+def test_controller_truststore_contains_only_ca(deployment):
+    anchors = deployment.vm.controller_truststore().anchors()
+    assert len(anchors) == 1
+    assert anchors[0] == deployment.vm.ca.certificate

@@ -1,0 +1,22 @@
+"""Constant-time helpers."""
+
+from repro.crypto.constant_time import ct_bytes_eq, ct_select
+
+
+def test_ct_bytes_eq_equal():
+    assert ct_bytes_eq(b"", b"")
+    assert ct_bytes_eq(b"abc", b"abc")
+    assert ct_bytes_eq(bytes(1000), bytes(1000))
+
+
+def test_ct_bytes_eq_unequal():
+    assert not ct_bytes_eq(b"abc", b"abd")
+    assert not ct_bytes_eq(b"abc", b"ab")
+    assert not ct_bytes_eq(b"\x00", b"\x01")
+
+
+def test_ct_select():
+    assert ct_select(True, 7, 9) == 7
+    assert ct_select(False, 7, 9) == 9
+    assert ct_select(True, 0, -1) == 0
+    assert ct_select(False, 0, -1) == -1

@@ -1,0 +1,94 @@
+"""P-256 group arithmetic: NIST parameters, group laws, serialization."""
+
+import pytest
+
+from repro.crypto.ec import P256, Point
+from repro.errors import InvalidPoint
+
+G = P256.generator
+
+
+def test_generator_is_on_curve():
+    assert P256.contains(G)
+
+
+def test_generator_has_group_order():
+    assert P256.multiply(P256.n, G) is None
+    assert P256.multiply(P256.n - 1, G) is not None
+
+
+def test_known_scalar_multiple():
+    # 2G for P-256 (published test value).
+    double = P256.multiply(2, G)
+    assert double.x == int(
+        "7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978", 16
+    )
+    assert double.y == int(
+        "07775510DB8ED040293D9AC69F7430DBBA7DADE63CE982299E04B79D227873D1", 16
+    )
+
+
+def test_addition_commutes():
+    p = P256.multiply(1234, G)
+    q = P256.multiply(5678, G)
+    assert P256.add(p, q) == P256.add(q, p)
+
+
+def test_addition_associates():
+    p = P256.multiply(3, G)
+    q = P256.multiply(11, G)
+    r = P256.multiply(29, G)
+    assert P256.add(P256.add(p, q), r) == P256.add(p, P256.add(q, r))
+
+
+def test_double_equals_add_self():
+    p = P256.multiply(99, G)
+    assert P256.double(p) == P256.add(p, p)
+
+
+def test_identity_behaviour():
+    p = P256.multiply(42, G)
+    assert P256.add(p, None) == p
+    assert P256.add(None, p) == p
+    assert P256.add(p, P256.negate(p)) is None
+    assert P256.multiply(0, G) is None
+
+
+def test_scalar_mult_distributes():
+    assert P256.multiply(7, G) == P256.add(P256.multiply(3, G),
+                                           P256.multiply(4, G))
+
+
+def test_scalar_reduced_mod_order():
+    assert P256.multiply(5, G) == P256.multiply(5 + P256.n, G)
+
+
+def test_point_encoding_roundtrip():
+    p = P256.multiply(31337, G)
+    encoded = P256.encode_point(p)
+    assert len(encoded) == 65 and encoded[0] == 0x04
+    assert P256.decode_point(encoded) == p
+
+
+def test_decode_rejects_off_curve():
+    p = P256.multiply(7, G)
+    bad = bytearray(P256.encode_point(p))
+    bad[-1] ^= 1
+    with pytest.raises(InvalidPoint):
+        P256.decode_point(bytes(bad))
+
+
+def test_decode_rejects_malformed():
+    with pytest.raises(InvalidPoint):
+        P256.decode_point(b"\x02" + bytes(64))  # compressed not supported
+    with pytest.raises(InvalidPoint):
+        P256.decode_point(bytes(65))
+    with pytest.raises(InvalidPoint):
+        P256.decode_point(b"\x04" + bytes(32))
+
+
+def test_validate_public_rejects_infinity_and_off_curve():
+    with pytest.raises(InvalidPoint):
+        P256.validate_public(None)
+    with pytest.raises(InvalidPoint):
+        P256.validate_public(Point(1, 1))

@@ -1,0 +1,45 @@
+"""ECDH: agreement, validation of peer points, NIST CAVP vector."""
+
+import pytest
+
+from repro.crypto.ec import P256, Point
+from repro.crypto.ecdh import ecdh_shared_secret
+from repro.crypto.keys import generate_keypair
+from repro.errors import InvalidKey, InvalidPoint
+
+
+def test_shared_secret_agreement(rng):
+    alice = generate_keypair(rng)
+    bob = generate_keypair(rng)
+    assert (ecdh_shared_secret(alice.scalar, bob.public.point)
+            == ecdh_shared_secret(bob.scalar, alice.public.point))
+
+
+def test_nist_cavp_vector():
+    # NIST CAVP ECDH KAT (P-256, COUNT=0).
+    peer = Point(
+        0x700C48F77F56584C5CC632CA65640DB91B6BACCE3A4DF6B42CE7CC838833D287,
+        0xDB71E509E3FD9B060DDB20BA5C51DCC5948D46FBF640DFE0441782CAB85FA4AC,
+    )
+    private = 0x7D7DC5F71EB29DDAF80D6214632EEAE03D9058AF1FB6D22ED80BADB62BC1A534
+    expected = "46fc62106420ff012e54a434fbdd2d25ccc5852060561e68040dd7778997bd7b"
+    assert ecdh_shared_secret(private, peer).hex() == expected
+
+
+def test_rejects_off_curve_point(rng):
+    key = generate_keypair(rng)
+    with pytest.raises(InvalidPoint):
+        ecdh_shared_secret(key.scalar, Point(123, 456))
+
+
+def test_rejects_bad_private_scalar(rng):
+    peer = generate_keypair(rng)
+    with pytest.raises(InvalidKey):
+        ecdh_shared_secret(0, peer.public.point)
+    with pytest.raises(InvalidKey):
+        ecdh_shared_secret(P256.n, peer.public.point)
+
+
+def test_secret_is_fixed_width(rng):
+    a, b = generate_keypair(rng), generate_keypair(rng)
+    assert len(ecdh_shared_secret(a.scalar, b.public.point)) == 32

@@ -1,0 +1,91 @@
+"""ECDSA: RFC 6979 deterministic vectors, verification, malleability."""
+
+import pytest
+
+from repro.crypto.ecdsa import (
+    ecdsa_sign,
+    ecdsa_verify,
+    signature_from_bytes,
+    signature_to_bytes,
+)
+from repro.crypto.keys import from_scalar
+from repro.errors import InvalidSignature
+
+# RFC 6979 appendix A.2.5 (P-256, SHA-256).
+RFC6979_KEY = 0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721
+RFC6979_VECTORS = [
+    (b"sample",
+     0xEFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716,
+     0xF7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8),
+    (b"test",
+     0xF1ABB023518351CD71D881567B1EA663ED3EFCF6C5132B354F28D3B0B7D38367,
+     0x019F4113742A2B14BD25926B49C649155F267E60D3814B4C0CC84250E46F0083),
+]
+
+
+@pytest.mark.parametrize("message,r,s", RFC6979_VECTORS)
+def test_rfc6979_vectors(message, r, s):
+    assert ecdsa_sign(RFC6979_KEY, message) == (r, s)
+
+
+def test_sign_verify_roundtrip(rng):
+    key = from_scalar(0x1234567890ABCDEF)
+    signature = ecdsa_sign(key.scalar, b"hello world")
+    ecdsa_verify(key.public.point, b"hello world", signature)
+
+
+def test_verify_rejects_wrong_message():
+    key = from_scalar(12345)
+    signature = ecdsa_sign(key.scalar, b"message A")
+    with pytest.raises(InvalidSignature):
+        ecdsa_verify(key.public.point, b"message B", signature)
+
+
+def test_verify_rejects_wrong_key():
+    key_a, key_b = from_scalar(111), from_scalar(222)
+    signature = ecdsa_sign(key_a.scalar, b"msg")
+    with pytest.raises(InvalidSignature):
+        ecdsa_verify(key_b.public.point, b"msg", signature)
+
+
+def test_verify_rejects_out_of_range_components():
+    key = from_scalar(333)
+    from repro.crypto.ec import P256
+
+    with pytest.raises(InvalidSignature):
+        ecdsa_verify(key.public.point, b"msg", (0, 1))
+    with pytest.raises(InvalidSignature):
+        ecdsa_verify(key.public.point, b"msg", (1, P256.n))
+
+
+def test_signing_is_deterministic():
+    key = from_scalar(444)
+    assert ecdsa_sign(key.scalar, b"m") == ecdsa_sign(key.scalar, b"m")
+
+
+def test_different_messages_different_nonces():
+    key = from_scalar(555)
+    r1, _ = ecdsa_sign(key.scalar, b"m1")
+    r2, _ = ecdsa_sign(key.scalar, b"m2")
+    assert r1 != r2  # distinct deterministic nonces
+
+
+def test_signature_bytes_roundtrip():
+    key = from_scalar(666)
+    signature = ecdsa_sign(key.scalar, b"m")
+    encoded = signature_to_bytes(signature)
+    assert len(encoded) == 64
+    assert signature_from_bytes(encoded) == signature
+
+
+def test_signature_bytes_rejects_bad_length():
+    with pytest.raises(InvalidSignature):
+        signature_from_bytes(bytes(63))
+
+
+def test_tampered_signature_rejected():
+    key = from_scalar(777)
+    encoded = bytearray(signature_to_bytes(ecdsa_sign(key.scalar, b"m")))
+    encoded[10] ^= 0x40
+    with pytest.raises(InvalidSignature):
+        ecdsa_verify(key.public.point, b"m", signature_from_bytes(bytes(encoded)))

@@ -1,0 +1,70 @@
+"""Encoding helpers: integers, hex, base64, XOR."""
+
+import base64
+
+import pytest
+
+from repro.crypto.encoding import (
+    b64_decode,
+    b64_encode,
+    bytes_to_int,
+    hex_decode,
+    hex_encode,
+    int_to_bytes,
+    int_to_min_bytes,
+    xor_bytes,
+)
+from repro.errors import EncodingError
+
+
+def test_int_roundtrip():
+    for value in (0, 1, 255, 256, 1 << 63, 1 << 200):
+        length = max(1, (value.bit_length() + 7) // 8)
+        assert bytes_to_int(int_to_bytes(value, length)) == value
+
+
+def test_int_to_bytes_fixed_width():
+    assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+
+
+def test_int_to_bytes_rejects_overflow_and_negative():
+    with pytest.raises(EncodingError):
+        int_to_bytes(256, 1)
+    with pytest.raises(EncodingError):
+        int_to_bytes(-1, 4)
+
+
+def test_int_to_min_bytes():
+    assert int_to_min_bytes(0) == b"\x00"
+    assert int_to_min_bytes(255) == b"\xff"
+    assert int_to_min_bytes(256) == b"\x01\x00"
+
+
+def test_hex_roundtrip():
+    data = bytes(range(256))
+    assert hex_decode(hex_encode(data)) == data
+
+
+def test_hex_decode_rejects_garbage():
+    with pytest.raises(EncodingError):
+        hex_decode("zz")
+
+
+@pytest.mark.parametrize("length", list(range(0, 20)) + [63, 64, 65, 1000])
+def test_b64_matches_stdlib(length, rng):
+    data = rng.random_bytes(length)
+    assert b64_encode(data) == base64.b64encode(data).decode()
+    assert b64_decode(b64_encode(data)) == data
+
+
+def test_b64_decode_rejects_bad_input():
+    with pytest.raises(EncodingError):
+        b64_decode("abc")  # bad length
+    with pytest.raises(EncodingError):
+        b64_decode("ab!=")  # bad character
+
+
+def test_xor_bytes():
+    assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+    with pytest.raises(EncodingError):
+        xor_bytes(b"\x00", b"\x00\x00")

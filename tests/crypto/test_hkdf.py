@@ -1,0 +1,46 @@
+"""HKDF: RFC 5869 test cases and error handling."""
+
+import pytest
+
+from repro.crypto.hkdf import hkdf, hkdf_expand, hkdf_extract
+from repro.errors import CryptoError
+
+
+def test_rfc5869_case_1():
+    ikm = bytes.fromhex("0b" * 22)
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    prk = hkdf_extract(salt, ikm)
+    assert prk.hex() == (
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    )
+    okm = hkdf_expand(prk, info, 42)
+    assert okm.hex() == (
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_rfc5869_case_3_empty_salt_and_info():
+    ikm = bytes.fromhex("0b" * 22)
+    okm = hkdf(ikm, b"", b"", 42)
+    assert okm.hex() == (
+        "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+        "9d201395faa4b61a96c8"
+    )
+
+
+def test_output_length_is_exact():
+    for length in (1, 16, 31, 32, 33, 64, 255):
+        assert len(hkdf(b"ikm", b"salt", b"info", length)) == length
+
+
+def test_different_info_separates_domains():
+    assert hkdf(b"ikm", b"s", b"a", 32) != hkdf(b"ikm", b"s", b"b", 32)
+
+
+def test_rejects_bad_lengths():
+    with pytest.raises(CryptoError):
+        hkdf(b"ikm", b"", b"", 0)
+    with pytest.raises(CryptoError):
+        hkdf(b"ikm", b"", b"", 255 * 32 + 1)

@@ -1,0 +1,59 @@
+"""HMAC-SHA256: RFC 4231 vectors and interface behaviour."""
+
+import pytest
+
+from repro.crypto.hmac import HmacSha256, hmac_sha256
+
+RFC4231_VECTORS = [
+    # (key, data, expected mac)
+    (b"\x0b" * 20, b"Hi There",
+     "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"),
+    (b"Jefe", b"what do ya want for nothing?",
+     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"),
+    (b"\xaa" * 20, b"\xdd" * 50,
+     "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"),
+    (bytes(range(1, 26)), b"\xcd" * 50,
+     "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"),
+    (b"\xaa" * 131, b"Test Using Larger Than Block-Size Key - Hash Key First",
+     "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"),
+]
+
+
+@pytest.mark.parametrize("key,data,expected", RFC4231_VECTORS)
+def test_rfc4231_vectors(key, data, expected):
+    assert hmac_sha256(key, data).hex() == expected
+
+
+def test_incremental_equals_oneshot():
+    mac = HmacSha256(b"key")
+    mac.update(b"part one ")
+    mac.update(b"part two")
+    assert mac.digest() == hmac_sha256(b"key", b"part one part two")
+
+
+def test_verify_accepts_and_rejects():
+    mac = HmacSha256(b"key", b"message")
+    tag = mac.digest()
+    assert HmacSha256(b"key", b"message").verify(tag)
+    assert not HmacSha256(b"key", b"message").verify(tag[:-1] + b"\x00")
+    assert not HmacSha256(b"other", b"message").verify(tag)
+
+
+def test_copy_is_independent():
+    mac = HmacSha256(b"key", b"common")
+    clone = mac.copy()
+    mac.update(b"-a")
+    clone.update(b"-b")
+    assert mac.digest() == hmac_sha256(b"key", b"common-a")
+    assert clone.digest() == hmac_sha256(b"key", b"common-b")
+
+
+def test_key_longer_than_block_is_hashed():
+    long_key = b"\xaa" * 200
+    from repro.crypto.sha256 import sha256
+
+    assert hmac_sha256(long_key, b"m") == hmac_sha256(sha256(long_key), b"m")
+
+
+def test_different_keys_different_macs():
+    assert hmac_sha256(b"k1", b"m") != hmac_sha256(b"k2", b"m")

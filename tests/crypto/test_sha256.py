@@ -1,0 +1,61 @@
+"""SHA-256: FIPS 180-4 known-answer tests and backend agreement."""
+
+import pytest
+
+from repro.crypto.sha256 import SHA256, sha256
+
+FIPS_VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"),
+    (b"a" * 1_000_000,
+     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"),
+]
+
+
+@pytest.mark.parametrize("backend", ["hashlib", "pure"])
+@pytest.mark.parametrize("message,expected", FIPS_VECTORS)
+def test_fips_vectors(backend, message, expected):
+    assert sha256(message, backend=backend).hex() == expected
+
+
+@pytest.mark.parametrize("backend", ["hashlib", "pure"])
+def test_incremental_equals_oneshot(backend):
+    h = SHA256(backend=backend)
+    for chunk in (b"hello ", b"", b"world", b"!" * 200):
+        h.update(chunk)
+    assert h.digest() == sha256(b"hello world" + b"!" * 200, backend=backend)
+
+
+def test_digest_does_not_finalize_pure_state():
+    h = SHA256(b"abc", backend="pure")
+    first = h.digest()
+    assert h.digest() == first  # repeatable
+    h.update(b"def")
+    assert h.digest() == sha256(b"abcdef", backend="pure")
+
+
+def test_copy_is_independent():
+    h = SHA256(b"prefix", backend="pure")
+    clone = h.copy()
+    h.update(b"-left")
+    clone.update(b"-right")
+    assert h.digest() == sha256(b"prefix-left", backend="pure")
+    assert clone.digest() == sha256(b"prefix-right", backend="pure")
+
+
+def test_hexdigest_matches_digest():
+    h = SHA256(b"xyz")
+    assert h.hexdigest() == h.digest().hex()
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        SHA256(backend="md5")
+
+
+@pytest.mark.parametrize("length", [0, 1, 55, 56, 57, 63, 64, 65, 127, 128, 1000])
+def test_backend_agreement_at_padding_boundaries(length):
+    message = b"\x5a" * length
+    assert sha256(message, backend="pure") == sha256(message, backend="hashlib")

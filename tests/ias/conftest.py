@@ -1,0 +1,58 @@
+"""IAS fixtures: a service, a registered platform, and a quotable enclave."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.ias.service import IasService
+from repro.net.clock import VirtualClock
+from repro.sgx.enclave import EnclaveImage
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.report import Report
+from repro.sgx.sigstruct import sign_image
+
+
+class EchoBehavior:
+    """Minimal quotable enclave."""
+
+    ECALLS = ("get_report",)
+
+    def __init__(self, api):
+        self._api = api
+
+    def get_report(self, target, report_data: bytes) -> bytes:
+        return self._api.create_report(target, report_data).to_bytes()
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def ias(rng, clock):
+    return IasService(rng=rng, now=clock.now_seconds)
+
+
+@pytest.fixture
+def platform(clock, rng, ias):
+    platform = SgxPlatform("attested-host", clock=clock, rng=rng)
+    ias.register_platform(platform)
+    return platform
+
+
+@pytest.fixture
+def enclave(platform, rng):
+    image = EnclaveImage.from_behavior_class(EchoBehavior, "echo")
+    sigstruct = sign_image(generate_keypair(rng), image.code, "vendor")
+    return platform.create_enclave(image, sigstruct)
+
+
+@pytest.fixture
+def quote(platform, enclave):
+    qe = platform.quoting_enclave
+    report = Report.from_bytes(
+        enclave.ecall("get_report", qe.target_info(), b"\x0a" * 64)
+    )
+    return qe.generate(report, b"test-deployment")

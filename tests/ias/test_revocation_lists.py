@@ -1,0 +1,85 @@
+"""PrivRL / SigRL semantics."""
+
+import pytest
+
+from repro.ias.revocation_lists import PrivRl, SigRl
+from repro.sgx.epid import EpidGroup, epid_sign
+
+
+@pytest.fixture
+def group(rng):
+    return EpidGroup(b"g", rng.random_bytes(32))
+
+
+def test_privrl_matches_revoked_member(group, rng):
+    member = group.issue_member(rng)
+    signature = epid_sign(member, group.sealing_key(), b"m", b"base", rng)
+    rl = PrivRl()
+    rl.add(member.member_id)
+    assert rl.matches(signature, group.derive_member_secret) == (
+        member.member_id
+    )
+
+
+def test_privrl_ignores_other_members(group, rng):
+    honest = group.issue_member(rng)
+    revoked = group.issue_member(rng)
+    signature = epid_sign(honest, group.sealing_key(), b"m", b"base", rng)
+    rl = PrivRl()
+    rl.add(revoked.member_id)
+    assert rl.matches(signature, group.derive_member_secret) is None
+
+
+def test_privrl_versioning_and_idempotence():
+    rl = PrivRl()
+    rl.add(b"member-1")
+    rl.add(b"member-1")
+    rl.add(b"member-2")
+    assert rl.version == 2
+    assert len(rl) == 2
+
+
+def test_privrl_serialization():
+    rl = PrivRl()
+    rl.add(b"m1")
+    rl.add(b"m2")
+    restored = PrivRl.from_bytes(rl.to_bytes())
+    assert restored.version == rl.version
+    assert restored.revoked_member_ids == rl.revoked_member_ids
+
+
+def test_sigrl_links_same_basename(group, rng):
+    member = group.issue_member(rng)
+    original = epid_sign(member, group.sealing_key(), b"m1", b"base", rng)
+    later = epid_sign(member, group.sealing_key(), b"m2", b"base", rng)
+    rl = SigRl()
+    rl.add(original)
+    assert rl.matches(later)
+
+
+def test_sigrl_does_not_link_other_basename(group, rng):
+    member = group.issue_member(rng)
+    original = epid_sign(member, group.sealing_key(), b"m", b"base-a", rng)
+    other = epid_sign(member, group.sealing_key(), b"m", b"base-b", rng)
+    rl = SigRl()
+    rl.add(original)
+    assert not rl.matches(other)
+
+
+def test_sigrl_does_not_match_other_members(group, rng):
+    mallory = group.issue_member(rng)
+    honest = group.issue_member(rng)
+    rl = SigRl()
+    rl.add(epid_sign(mallory, group.sealing_key(), b"m", b"base", rng))
+    assert not rl.matches(
+        epid_sign(honest, group.sealing_key(), b"m", b"base", rng)
+    )
+
+
+def test_sigrl_serialization(group, rng):
+    member = group.issue_member(rng)
+    rl = SigRl()
+    rl.add(epid_sign(member, group.sealing_key(), b"m", b"base", rng))
+    restored = SigRl.from_bytes(rl.to_bytes())
+    assert restored.entries == rl.entries
+    assert restored.version == rl.version

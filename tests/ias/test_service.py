@@ -1,0 +1,146 @@
+"""The IAS core: verdicts, revocation order, AVR integrity."""
+
+import pytest
+
+from repro.errors import IasError
+from repro.ias.report import AttestationVerificationReport
+from repro.ias.service import QuoteStatus
+
+
+def test_good_quote_gets_ok(ias, quote):
+    avr = ias.verify_quote(quote.to_bytes(), nonce="n-1")
+    assert avr.ok
+    assert avr.quote_status == QuoteStatus.OK
+    assert avr.nonce == "n-1"
+    assert avr.isv_enclave_quote_body == quote.body_bytes().hex()
+
+
+def test_avr_signature_verifies(ias, quote):
+    avr = ias.verify_quote(quote.to_bytes())
+    avr.verify(ias.report_signing_public_key)
+
+
+def test_avr_tamper_detected(ias, quote, rng):
+    avr = ias.verify_quote(quote.to_bytes())
+    import dataclasses
+
+    forged = dataclasses.replace(avr, quote_status="OK",
+                                 nonce="injected")
+    from repro.errors import InvalidSignature
+
+    with pytest.raises(InvalidSignature):
+        forged.verify(ias.report_signing_public_key)
+
+
+def test_avr_json_roundtrip(ias, quote):
+    avr = ias.verify_quote(quote.to_bytes(), nonce="x")
+    restored = AttestationVerificationReport.from_json(avr.to_json())
+    assert restored == avr
+    restored.verify(ias.report_signing_public_key)
+
+
+def test_malformed_avr_json_rejected():
+    with pytest.raises(IasError):
+        AttestationVerificationReport.from_json(b"{not json")
+    with pytest.raises(IasError):
+        AttestationVerificationReport.from_json(b"{}")
+
+
+def test_forged_quote_signature_invalid(ias, quote):
+    raw = bytearray(quote.to_bytes())
+    raw[-1] ^= 1
+    avr = ias.verify_quote(bytes(raw))
+    assert avr.quote_status == QuoteStatus.SIGNATURE_INVALID
+
+
+def test_tampered_quote_body_signature_invalid(ias, quote):
+    import dataclasses
+
+    forged = dataclasses.replace(quote, mrenclave=b"\x99" * 32)
+    avr = ias.verify_quote(forged.to_bytes())
+    assert avr.quote_status == QuoteStatus.SIGNATURE_INVALID
+
+
+def test_key_revocation(ias, quote, platform):
+    ias.revoke_platform(platform.name)
+    avr = ias.verify_quote(quote.to_bytes())
+    assert avr.quote_status == QuoteStatus.KEY_REVOKED
+
+
+def test_revoke_unknown_platform_raises(ias):
+    with pytest.raises(IasError):
+        ias.revoke_platform("ghost-host")
+    with pytest.raises(IasError):
+        ias.revoke_member(b"unknown-member")
+
+
+def test_signature_revocation_same_basename(ias, quote, platform, enclave):
+    ias.revoke_quote_signature(quote)
+    # A *fresh* quote from the same platform under the same basename links
+    # to the revoked signature.
+    from repro.sgx.report import Report
+
+    qe = platform.quoting_enclave
+    report = Report.from_bytes(
+        enclave.ecall("get_report", qe.target_info(), b"\x0b" * 64)
+    )
+    fresh = qe.generate(report, b"test-deployment")
+    avr = ias.verify_quote(fresh.to_bytes())
+    assert avr.quote_status == QuoteStatus.SIGNATURE_REVOKED
+
+
+def test_signature_revocation_other_basename_unlinkable(ias, quote, platform,
+                                                        enclave):
+    ias.revoke_quote_signature(quote)
+    from repro.sgx.report import Report
+
+    qe = platform.quoting_enclave
+    report = Report.from_bytes(
+        enclave.ecall("get_report", qe.target_info(), b"\x0c" * 64)
+    )
+    other = qe.generate(report, b"another-deployment")
+    avr = ias.verify_quote(other.to_bytes())
+    assert avr.quote_status == QuoteStatus.OK  # EPID unlinkability
+
+
+def test_group_revocation_dominates(ias, quote):
+    ias.revoke_group()
+    avr = ias.verify_quote(quote.to_bytes())
+    assert avr.quote_status == QuoteStatus.GROUP_REVOKED
+
+
+def test_platform_name_lookup(ias, platform, quote):
+    member_id = ias.group.verify(quote.signature(), quote.body_bytes())
+    assert ias.platform_name(member_id) == platform.name
+
+
+def test_quotes_verified_counter(ias, quote):
+    before = ias.quotes_verified
+    ias.verify_quote(quote.to_bytes())
+    assert ias.quotes_verified == before + 1
+
+
+def test_tcb_floor_raises_group_out_of_date(ias, quote):
+    from repro.sgx.quote import QE_SVN
+
+    ias.raise_tcb_floor(QE_SVN + 1)
+    avr = ias.verify_quote(quote.to_bytes())
+    assert avr.quote_status == QuoteStatus.GROUP_OUT_OF_DATE
+    # Lowering the floor restores service.
+    ias.raise_tcb_floor(QE_SVN)
+    assert ias.verify_quote(quote.to_bytes()).quote_status == QuoteStatus.OK
+
+
+def test_tcb_floor_blocks_enrollment_end_to_end():
+    from repro.core import Deployment
+    from repro.errors import AttestationFailed
+    from repro.sgx.quote import QE_SVN
+
+    import pytest as _pytest
+
+    deployment = Deployment(seed=b"tcb-floor", vnf_count=1)
+    deployment.ias.raise_tcb_floor(QE_SVN + 1)
+    with _pytest.raises(AttestationFailed) as excinfo:
+        deployment.vm.attest_host(deployment.agent_client,
+                                  deployment.host.name)
+    assert "GROUP_OUT_OF_DATE" in str(excinfo.value)

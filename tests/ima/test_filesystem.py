@@ -1,0 +1,54 @@
+"""The simulated filesystem."""
+
+import pytest
+
+from repro.errors import ImaError
+from repro.ima.filesystem import SimulatedFilesystem
+
+
+@pytest.fixture
+def fs():
+    return SimulatedFilesystem()
+
+
+def test_write_read(fs):
+    fs.write_file("/usr/bin/tool", b"binary")
+    assert fs.read_file("/usr/bin/tool") == b"binary"
+    assert fs.exists("/usr/bin/tool")
+    assert "/usr/bin/tool" in fs
+
+
+def test_relative_paths_rejected(fs):
+    with pytest.raises(ImaError):
+        fs.write_file("relative/path", b"x")
+
+
+def test_missing_file_raises(fs):
+    with pytest.raises(ImaError):
+        fs.read_file("/absent")
+    with pytest.raises(ImaError):
+        fs.delete_file("/absent")
+
+
+def test_generation_counter(fs):
+    assert fs.generation("/f") == 0
+    fs.write_file("/f", b"v1")
+    assert fs.generation("/f") == 1
+    fs.write_file("/f", b"v2")
+    assert fs.generation("/f") == 2
+    fs.delete_file("/f")
+    assert fs.generation("/f") == 0
+
+
+def test_list_files_by_prefix(fs):
+    fs.write_file("/usr/bin/a", b"")
+    fs.write_file("/usr/bin/b", b"")
+    fs.write_file("/etc/conf", b"")
+    assert fs.list_files("/usr/bin/") == ["/usr/bin/a", "/usr/bin/b"]
+    assert len(fs) == 3
+
+
+def test_walk_is_sorted(fs):
+    for name in ("/z", "/a", "/m"):
+        fs.write_file(name, b"")
+    assert list(fs.walk()) == ["/a", "/m", "/z"]

@@ -1,0 +1,93 @@
+"""The measurement list: aggregates, serialization, adversarial mutation."""
+
+import pytest
+
+from repro.crypto.sha256 import sha256
+from repro.errors import ImaError
+from repro.ima.iml import BOOT_AGGREGATE_PATH, ImaEntry, MeasurementList
+from repro.ima.pcr import Pcr
+
+
+def entry(path: str, content: bytes = b"x") -> ImaEntry:
+    return ImaEntry(pcr_index=10, file_hash=sha256(content), path=path)
+
+
+@pytest.fixture
+def iml():
+    iml = MeasurementList()
+    iml.boot_aggregate(sha256(b"boot"))
+    iml.append(entry("/usr/bin/a", b"aa"))
+    iml.append(entry("/usr/bin/b", b"bb"))
+    return iml
+
+
+def test_boot_aggregate_must_be_first():
+    iml = MeasurementList()
+    iml.append(entry("/early"))
+    with pytest.raises(ImaError):
+        iml.boot_aggregate(sha256(b"boot"))
+
+
+def test_aggregate_tracks_appends(iml):
+    manual = Pcr()
+    for e in iml.entries:
+        manual.extend(e.template_hash())
+    assert iml.aggregate() == manual.read()
+
+
+def test_compute_aggregate_matches_live(iml):
+    assert MeasurementList.compute_aggregate(iml.entries) == iml.aggregate()
+
+
+def test_order_matters():
+    a = [entry("/1", b"1"), entry("/2", b"2")]
+    b = [entry("/2", b"2"), entry("/1", b"1")]
+    assert (MeasurementList.compute_aggregate(a)
+            != MeasurementList.compute_aggregate(b))
+
+
+def test_serialization_roundtrip(iml):
+    restored = MeasurementList.from_bytes(iml.to_bytes())
+    assert restored.entries == iml.entries
+    assert restored.aggregate() == iml.aggregate()
+
+
+def test_find_returns_latest(iml):
+    iml.append(entry("/usr/bin/a", b"updated"))
+    assert iml.find("/usr/bin/a").file_hash == sha256(b"updated")
+    assert iml.find("/ghost") is None
+
+
+def test_replace_entry_breaks_consistency(iml):
+    before = iml.aggregate()
+    iml.replace_entry("/usr/bin/a", sha256(b"forged"))
+    assert iml.aggregate() == before  # PCR cannot be rewound...
+    assert MeasurementList.compute_aggregate(iml.entries) != before  # ...but the list changed
+
+
+def test_rewrite_restores_internal_consistency(iml):
+    iml.replace_entry("/usr/bin/a", sha256(b"forged"))
+    iml.rewrite()
+    assert MeasurementList.compute_aggregate(iml.entries) == iml.aggregate()
+
+
+def test_remove_entry(iml):
+    iml.remove_entry("/usr/bin/a")
+    assert iml.find("/usr/bin/a") is None
+    with pytest.raises(ImaError):
+        iml.remove_entry("/usr/bin/a")
+
+
+def test_replace_missing_entry_raises(iml):
+    with pytest.raises(ImaError):
+        iml.replace_entry("/ghost", sha256(b"x"))
+
+
+def test_template_hash_binds_path_and_hash():
+    assert entry("/a", b"c").template_hash() != entry("/b", b"c").template_hash()
+    assert entry("/a", b"c").template_hash() != entry("/a", b"d").template_hash()
+
+
+def test_len_and_iter(iml):
+    assert len(iml) == 3
+    assert [e.path for e in iml][0] == BOOT_AGGREGATE_PATH

@@ -1,0 +1,41 @@
+"""Software PCR semantics."""
+
+import pytest
+
+from repro.crypto.sha256 import sha256
+from repro.ima.pcr import INITIAL_VALUE, Pcr
+
+
+def test_initial_value():
+    assert Pcr().read() == INITIAL_VALUE
+
+
+def test_extend_is_hash_chain():
+    pcr = Pcr()
+    digest = sha256(b"event")
+    pcr.extend(digest)
+    assert pcr.read() == sha256(INITIAL_VALUE + digest)
+    assert pcr.extend_count == 1
+
+
+def test_extend_order_matters():
+    a, b = Pcr(), Pcr()
+    d1, d2 = sha256(b"1"), sha256(b"2")
+    a.extend(d1)
+    a.extend(d2)
+    b.extend(d2)
+    b.extend(d1)
+    assert a.read() != b.read()
+
+
+def test_extend_requires_digest_size():
+    with pytest.raises(ValueError):
+        Pcr().extend(b"short")
+
+
+def test_reset():
+    pcr = Pcr()
+    pcr.extend(sha256(b"x"))
+    pcr.reset()
+    assert pcr.read() == INITIAL_VALUE
+    assert pcr.extend_count == 0

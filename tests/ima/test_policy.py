@@ -1,0 +1,78 @@
+"""IMA policy rules and parsing."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.ima.policy import (
+    ACTION_DONT_MEASURE,
+    ACTION_MEASURE,
+    ImaPolicy,
+    MATCH_EXACT,
+    MATCH_PREFIX,
+    MATCH_SUFFIX,
+    PolicyRule,
+)
+
+
+def test_first_match_wins():
+    policy = ImaPolicy([
+        PolicyRule(ACTION_DONT_MEASURE, MATCH_PREFIX, "/usr/bin/skip-"),
+        PolicyRule(ACTION_MEASURE, MATCH_PREFIX, "/usr/bin/"),
+    ])
+    assert not policy.should_measure("/usr/bin/skip-me")
+    assert policy.should_measure("/usr/bin/keep-me")
+
+
+def test_default_deny():
+    assert not ImaPolicy().should_measure("/anything")
+
+
+def test_match_types():
+    assert PolicyRule(ACTION_MEASURE, MATCH_PREFIX, "/a/").applies_to("/a/b")
+    assert PolicyRule(ACTION_MEASURE, MATCH_SUFFIX, ".so").applies_to("/x.so")
+    assert PolicyRule(ACTION_MEASURE, MATCH_EXACT, "/one").applies_to("/one")
+    assert not PolicyRule(ACTION_MEASURE, MATCH_EXACT, "/one").applies_to(
+        "/one/two"
+    )
+
+
+def test_invalid_rules_rejected():
+    with pytest.raises(PolicyError):
+        PolicyRule("observe", MATCH_PREFIX, "/")
+    with pytest.raises(PolicyError):
+        PolicyRule(ACTION_MEASURE, "regex", "/")
+
+
+def test_parse_policy_text():
+    policy = ImaPolicy.from_text(
+        """
+        # comment line
+        dont_measure prefix /var/log/
+        measure prefix /usr/bin/   # trailing comment
+        measure suffix .ko
+        """
+    )
+    assert len(policy) == 3
+    assert policy.should_measure("/usr/bin/dockerd")
+    assert not policy.should_measure("/var/log/syslog")
+    assert policy.should_measure("/lib/modules/x.ko")
+
+
+def test_parse_rejects_malformed_lines():
+    with pytest.raises(PolicyError):
+        ImaPolicy.from_text("measure /usr/bin/")
+
+
+def test_default_host_policy_covers_the_deployment():
+    policy = ImaPolicy.default_host_policy()
+    assert policy.should_measure("/usr/bin/dockerd")
+    assert policy.should_measure("/boot/vmlinuz")
+    assert policy.should_measure("/var/lib/containers/ctr-0001/usr/bin/vnf")
+    assert not policy.should_measure("/var/log/audit.log")
+    assert not policy.should_measure("/tmp/scratch")
+
+
+def test_add_rule_appends_lowest_priority():
+    policy = ImaPolicy([PolicyRule(ACTION_MEASURE, MATCH_PREFIX, "/a/")])
+    policy.add_rule(PolicyRule(ACTION_DONT_MEASURE, MATCH_PREFIX, "/a/"))
+    assert policy.should_measure("/a/x")  # first rule still wins

@@ -1,0 +1,23 @@
+"""Every shipped example must run to completion."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip()  # every example narrates what it demonstrated
+
+
+def test_all_examples_discovered():
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "attest_and_enroll", "compromised_host",
+            "credential_revocation", "controller_security_modes",
+            "sealed_credentials", "fleet_operations"} <= names

@@ -1,0 +1,69 @@
+"""Figure 1 end to end, on one shared enrolled deployment."""
+
+import pytest
+
+from repro.core import events as ev
+
+
+def test_both_vnfs_enrolled(shared_deployment):
+    for vnf_name in shared_deployment.vnf_names:
+        assert shared_deployment.credential_enclaves[vnf_name].has_credentials()
+
+
+def test_audit_trail_complete(shared_deployment):
+    counts = shared_deployment.vm.audit.counts()
+    assert counts[ev.EVENT_HOST_ATTESTED] == 2   # once per enrolment
+    assert counts[ev.EVENT_VNF_ATTESTED] == 2
+    assert counts[ev.EVENT_CREDENTIAL_ISSUED] == 2
+    assert counts[ev.EVENT_CREDENTIAL_PROVISIONED] == 2
+
+
+def test_vnfs_hold_distinct_credentials(shared_deployment):
+    cert_1 = shared_deployment.vm.issued_certificate("vnf-1")
+    cert_2 = shared_deployment.vm.issued_certificate("vnf-2")
+    assert cert_1.serial != cert_2.serial
+    assert cert_1.public_key_bytes != cert_2.public_key_bytes
+
+
+def test_vnfs_operate_concurrently(shared_deployment):
+    client_1 = shared_deployment.enclave_client("vnf-1")
+    client_2 = shared_deployment.enclave_client("vnf-2")
+    client_1.push_flow("00:00:01", "int-a", {"eth_src": "h1"}, "output:3")
+    client_2.push_flow("00:00:02", "int-b", {"eth_src": "h2"}, "output:3")
+    flows = client_1.list_flows()
+    assert "int-a" in [r["name"] for r in flows.get("00:00:01", [])]
+    assert "int-b" in [r["name"] for r in flows.get("00:00:02", [])]
+    client_1.delete_flow("int-a")
+    client_2.delete_flow("int-b")
+
+
+def test_flows_pushed_by_vnf_affect_data_plane(shared_deployment):
+    from repro.sdn.flows import Packet
+
+    controller = shared_deployment.controller
+    client = shared_deployment.enclave_client("vnf-1")
+    packet = Packet(eth_src="h1", eth_dst="h2")
+    assert controller.inject_packet("h1", packet) == "delivered"
+    client.push_flow("00:00:01", "int-block",
+                     {"eth_src": "h1", "eth_dst": "h2"}, "drop",
+                     priority=900)
+    assert controller.inject_packet("h1", packet) == "dropped"
+    client.delete_flow("int-block")
+
+
+def test_iml_covers_os_and_containers(shared_deployment):
+    paths = {entry.path for entry in shared_deployment.host.ima.iml}
+    assert "/usr/bin/dockerd" in paths
+    assert any("/usr/bin/vnf" in path for path in paths)
+
+
+def test_ias_saw_all_quotes(shared_deployment):
+    # 1 host + 1 VNF quote per enrolment, for two enrolments.
+    assert shared_deployment.ias.quotes_verified >= 4
+
+
+def test_simulated_time_advanced(shared_deployment):
+    assert shared_deployment.clock.now() > 0
+    charges = shared_deployment.clock.charges()
+    assert charges.get("network", 0) > 0
+    assert charges.get("enclave-transitions", 0) > 0

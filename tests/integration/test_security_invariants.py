@@ -1,0 +1,148 @@
+"""The DESIGN.md security invariants I1-I7, each tested by direct attack."""
+
+import pytest
+
+from repro.core import Deployment
+from repro.errors import (
+    AttestationFailed,
+    EnclaveMemoryViolation,
+    ReproError,
+    SealingError,
+)
+
+
+def test_i1_private_keys_unreadable_from_outside(shared_deployment):
+    """I1: provisioned keys are unreachable across the enclave boundary."""
+    enclave = shared_deployment.credential_enclaves["vnf-1"].enclave
+    with pytest.raises(EnclaveMemoryViolation):
+        enclave.memory.read("bundle")
+    with pytest.raises(EnclaveMemoryViolation):
+        list(enclave.memory.keys())
+
+
+def test_i2_session_keys_never_cross_ocalls(shared_deployment):
+    """I2: the OCALL surface carries only addresses and raw (encrypted)
+    channel traffic — never key material."""
+    client = shared_deployment.enclave_client("vnf-1")
+    client.close()
+
+    leaked = []
+    enclave = shared_deployment.credential_enclaves["vnf-1"].enclave
+    behavior = enclave._behavior
+    original = behavior._open_channel
+
+    def spying_open(address):
+        leaked.append(address)
+        return original(address)
+
+    behavior._open_channel = spying_open
+    try:
+        client.summary()
+    finally:
+        behavior._open_channel = original
+    # The only OCALL payload is the controller address string.
+    assert leaked == [str(shared_deployment.controller_address())]
+
+
+def test_i3_tampered_enclave_never_verifies():
+    """I3: a quote over the wrong MRENCLAVE is rejected by the VM."""
+    deployment = Deployment(seed=b"inv-3", vnf_count=1)
+    # Swap the credential enclave for a tampered image, fully relaunched
+    # (host colludes), then try to enrol it.
+    from repro.core.credential_enclave import (
+        CredentialEnclave,
+        credential_enclave_image,
+    )
+
+    image = credential_enclave_image(deployment.network,
+                                     deployment.host.name)
+    tampered = image.tampered(b"# backdoor\n")
+    rogue = CredentialEnclave(deployment.host, deployment.vendor_key,
+                              deployment.network, "vnf-1", image=tampered)
+    deployment.agent.register_vnf(rogue)  # replaces the honest registration
+    deployment.vm.attest_host(deployment.agent_client, deployment.host.name)
+    with pytest.raises(AttestationFailed) as excinfo:
+        deployment.vm.attest_vnf(deployment.agent_client,
+                                 deployment.host.name, "vnf-1")
+    assert "MRENCLAVE" in str(excinfo.value)
+
+
+def test_i4_revoked_platform_cannot_reenroll():
+    """I4: once the EPID key is on the PrivRL, every attestation fails."""
+    deployment = Deployment(seed=b"inv-4", vnf_count=1)
+    deployment.enroll("vnf-1")
+    deployment.ias.revoke_platform(deployment.host.name)
+    with pytest.raises(AttestationFailed):
+        deployment.vm.attest_host(deployment.agent_client,
+                                  deployment.host.name)
+
+
+def test_i5_unattested_vnf_gets_nothing():
+    """I5: no credentials without attestation; no controller access
+    without credentials."""
+    deployment = Deployment(seed=b"inv-5", vnf_count=1)
+    enclave = deployment.credential_enclaves["vnf-1"]
+    assert not enclave.has_credentials()
+    with pytest.raises(ReproError):
+        enclave.client.summary()
+    anonymous = deployment.baseline_client(mode="trusted-https")
+    with pytest.raises(ReproError):
+        anonymous.summary()
+
+
+def test_i6_sealed_credentials_bound_to_identity_and_platform():
+    """I6: sealed blobs fail on another platform or another enclave."""
+    deployment = Deployment(seed=b"inv-6", vnf_count=1)
+    deployment.enroll("vnf-1")
+    sealed = deployment.credential_enclaves["vnf-1"].seal_credentials()
+
+    other = Deployment(seed=b"inv-6-other", vnf_count=1)
+    with pytest.raises(SealingError):
+        other.credential_enclaves["vnf-1"].restore_credentials(sealed)
+
+    # Different enclave identity on the *same* platform: a modified
+    # credential-enclave build derives a different sealing key.
+    from repro.core.credential_enclave import (
+        CredentialEnclave,
+        credential_enclave_image,
+    )
+
+    image = credential_enclave_image(deployment.network,
+                                     deployment.host.name)
+    lookalike = CredentialEnclave(deployment.host, deployment.vendor_key,
+                                  deployment.network, "vnf-1-lookalike",
+                                  image=image.tampered(b"# patched\n"))
+    with pytest.raises(SealingError):
+        lookalike.restore_credentials(sealed)
+
+
+def test_i7_iml_tampering_detected():
+    """I7: edits, deletions, reordering are caught; consistent rewrites are
+    caught only with the TPM (paper §4)."""
+    deployment = Deployment(seed=b"inv-7", vnf_count=1)
+    deployment.enroll("vnf-1")
+    deployment.host.tamper_file("/usr/bin/dockerd", b"evil")
+    result = deployment.vm.attest_host(deployment.agent_client,
+                                       deployment.host.name)
+    assert not result.trustworthy
+
+    # Inconsistent in-place edit (aggregate not rewritten).
+    deployment_2 = Deployment(seed=b"inv-7b", vnf_count=1)
+    from repro.crypto.sha256 import sha256
+
+    deployment_2.host.tamper_iml("/usr/bin/dockerd", sha256(b"fake"),
+                                 make_consistent=False)
+    result_2 = deployment_2.vm.attest_host(deployment_2.agent_client,
+                                           deployment_2.host.name)
+    assert not result_2.trustworthy
+    assert any("inconsistent" in f or "mismatch" in f
+               for f in result_2.failures)
+
+    # Consistent rewrite with TPM: caught via hardware PCR.
+    deployment_3 = Deployment(seed=b"inv-7c", vnf_count=1, with_tpm=True)
+    deployment_3.host.tamper_file("/usr/bin/dockerd", b"evil")
+    deployment_3.host.hide_measurement("/usr/bin/dockerd")
+    result_3 = deployment_3.vm.attest_host(deployment_3.agent_client,
+                                           deployment_3.host.name)
+    assert not result_3.trustworthy
+    assert any("rewritten" in f for f in result_3.failures)

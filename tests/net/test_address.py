@@ -1,0 +1,22 @@
+"""Addresses: parsing and formatting."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.net.address import Address
+
+
+def test_format():
+    assert str(Address("controller", 8080)) == "controller:8080"
+
+
+def test_parse_roundtrip():
+    assert Address.parse("host:443") == Address("host", 443)
+    assert Address.parse(str(Address("a.b.c", 9))) == Address("a.b.c", 9)
+
+
+@pytest.mark.parametrize("text", ["nohost", ":80", "host:", "host:abc",
+                                  "host:0", "host:70000"])
+def test_parse_rejects_malformed(text):
+    with pytest.raises(AddressError):
+        Address.parse(text)

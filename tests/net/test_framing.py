@@ -1,0 +1,56 @@
+"""Length-prefixed framing."""
+
+import pytest
+
+from repro.errors import FramingError
+from repro.net.address import Address
+from repro.net.framing import MAX_FRAME, recv_frame, send_frame, try_recv_frame
+
+
+@pytest.fixture
+def pair(network):
+    sides = []
+    network.listen(Address("s", 1), sides.append)
+    return network.connect("c", Address("s", 1)), sides[0]
+
+
+def test_roundtrip(pair):
+    client, server = pair
+    send_frame(client, b"hello")
+    assert recv_frame(server) == b"hello"
+
+
+def test_empty_frame(pair):
+    client, server = pair
+    send_frame(client, b"")
+    assert recv_frame(server) == b""
+
+
+def test_multiple_frames_preserve_boundaries(pair):
+    client, server = pair
+    send_frame(client, b"one")
+    send_frame(client, b"two!")
+    assert recv_frame(server) == b"one"
+    assert recv_frame(server) == b"two!"
+
+
+def test_oversized_frame_rejected_on_send(pair):
+    client, _ = pair
+    with pytest.raises(FramingError):
+        send_frame(client, b"x" * (MAX_FRAME + 1))
+
+
+def test_oversized_declared_length_rejected_on_recv(pair):
+    client, server = pair
+    client.send((MAX_FRAME + 1).to_bytes(4, "big"))
+    with pytest.raises(FramingError):
+        recv_frame(server)
+
+
+def test_try_recv_partial_returns_none(pair):
+    client, server = pair
+    client.send(b"\x00\x00\x00\x05ab")  # header + 2 of 5 bytes
+    assert try_recv_frame(server) is None
+    client.send(b"cde")
+    assert try_recv_frame(server) == b"abcde"
+    assert try_recv_frame(server) is None

@@ -1,0 +1,86 @@
+"""HTTP message encoding, incremental parsing, and routing."""
+
+import pytest
+
+from repro.errors import RestError
+from repro.net.rest import HttpParser, HttpRequest, HttpResponse, RestServer
+
+
+def test_request_roundtrip():
+    request = HttpRequest("POST", "/wm/staticflowpusher/json",
+                          {"content-type": "application/json"}, b"{}")
+    parsed = HttpParser(is_server_side=True).feed(request.encode())
+    assert len(parsed) == 1
+    out = parsed[0]
+    assert (out.method, out.path, out.body) == ("POST",
+                                                "/wm/staticflowpusher/json",
+                                                b"{}")
+    assert out.headers["content-type"] == "application/json"
+
+
+def test_response_roundtrip():
+    response = HttpResponse(404, body=b"not found")
+    parsed = HttpParser(is_server_side=False).feed(response.encode())
+    assert parsed[0].status == 404
+    assert parsed[0].body == b"not found"
+
+
+def test_incremental_parse_across_chunks():
+    parser = HttpParser(is_server_side=True)
+    wire = HttpRequest("GET", "/a").encode() + HttpRequest("GET", "/b").encode()
+    messages = []
+    for i in range(0, len(wire), 7):
+        messages.extend(parser.feed(wire[i:i + 7]))
+    assert [m.path for m in messages] == ["/a", "/b"]
+
+
+def test_pipelined_messages_in_one_feed():
+    parser = HttpParser(is_server_side=True)
+    wire = b"".join(HttpRequest("GET", f"/{i}").encode() for i in range(5))
+    assert [m.path for m in parser.feed(wire)] == [f"/{i}" for i in range(5)]
+
+
+def test_body_requires_content_length_bytes():
+    parser = HttpParser(is_server_side=True)
+    encoded = HttpRequest("POST", "/x", body=b"12345").encode()
+    assert parser.feed(encoded[:-2]) == []
+    assert parser.feed(encoded[-2:])[0].body == b"12345"
+
+
+def test_malformed_request_line_rejected():
+    with pytest.raises(RestError):
+        HttpParser(is_server_side=True).feed(b"NONSENSE\r\n\r\n")
+
+
+def test_malformed_header_rejected():
+    with pytest.raises(RestError):
+        HttpParser(is_server_side=True).feed(
+            b"GET / HTTP/1.1\r\nbadheader\r\n\r\n"
+        )
+
+
+def test_bad_content_length_rejected():
+    with pytest.raises(RestError):
+        HttpParser(is_server_side=True).feed(
+            b"GET / HTTP/1.1\r\ncontent-length: banana\r\n\r\n"
+        )
+
+
+def test_rest_server_routing():
+    server = RestServer()
+    server.route("GET", "/health", lambda req: HttpResponse(200, body=b"ok"))
+    assert server.dispatch(HttpRequest("GET", "/health")).status == 200
+    assert server.dispatch(HttpRequest("POST", "/health")).status == 405
+    assert server.dispatch(HttpRequest("GET", "/other")).status == 404
+
+
+def test_rest_server_wraps_handler_errors():
+    server = RestServer()
+
+    def boom(request):
+        raise RuntimeError("kaboom")
+
+    server.route("GET", "/boom", boom)
+    response = server.dispatch(HttpRequest("GET", "/boom"))
+    assert response.status == 500
+    assert b"kaboom" in response.body

@@ -1,0 +1,71 @@
+"""The network fabric: listeners, latency model, time charging."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.net.address import Address
+from repro.net.simnet import DATACENTER, LOOPBACK, LinkProfile, Network
+
+
+def test_listen_and_connect_counts(network):
+    network.listen(Address("s", 1), lambda ch: None)
+    assert network.is_listening(Address("s", 1))
+    network.connect("c", Address("s", 1))
+    network.connect("c", Address("s", 1))
+    assert network.connections_opened == 2
+
+
+def test_duplicate_listener_rejected(network):
+    network.listen(Address("s", 1), lambda ch: None)
+    with pytest.raises(AddressError):
+        network.listen(Address("s", 1), lambda ch: None)
+
+
+def test_stop_listening(network):
+    network.listen(Address("s", 1), lambda ch: None)
+    network.stop_listening(Address("s", 1))
+    assert not network.is_listening(Address("s", 1))
+
+
+def test_connection_setup_charges_round_trip(network):
+    network.listen(Address("s", 1), lambda ch: None)
+    before = network.clock.now()
+    network.connect("c", Address("s", 1))
+    elapsed = network.clock.now() - before
+    assert elapsed == pytest.approx(2 * DATACENTER.latency)
+
+
+def test_transfer_charges_latency_and_serialization(network):
+    network.listen(Address("s", 1), lambda ch: None)
+    channel = network.connect("c", Address("s", 1))
+    before = network.clock.now()
+    channel.send(b"x" * 1_000_000)
+    elapsed = network.clock.now() - before
+    expected = DATACENTER.latency + 1_000_000 / DATACENTER.bytes_per_second
+    assert elapsed == pytest.approx(expected)
+
+
+def test_same_host_uses_loopback(network):
+    network.listen(Address("h", 1), lambda ch: None)
+    before = network.clock.now()
+    network.connect("h", Address("h", 1))
+    assert network.clock.now() - before == pytest.approx(2 * LOOPBACK.latency)
+
+
+def test_link_profile_override(network):
+    slow = LinkProfile(latency=0.5, bytes_per_second=1000)
+    network.set_link_profile("a", "b", slow)
+    assert network.profile_between("a", "b") is slow
+    assert network.profile_between("b", "a") is slow
+    assert network.profile_between("a", "c") is DATACENTER
+
+
+def test_transfer_time_with_zero_bandwidth_cost():
+    profile = LinkProfile(latency=0.001, bytes_per_second=0)
+    assert profile.transfer_time(10_000_000) == 0.001
+
+
+def test_charges_recorded_under_network_account(network):
+    network.listen(Address("s", 1), lambda ch: None)
+    network.connect("c", Address("s", 1)).send(b"data")
+    assert "network" in network.clock.charges()

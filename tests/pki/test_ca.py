@@ -1,0 +1,87 @@
+"""The certificate authority: issuance, serials, revocation."""
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.errors import CertificateError, InvalidSignature, RevocationError
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import (
+    KEY_USAGE_CERT_SIGN,
+    KEY_USAGE_CLIENT_AUTH,
+    KEY_USAGE_SERVER_AUTH,
+)
+from repro.pki.csr import create_csr
+from repro.pki.name import DistinguishedName
+
+
+def test_root_is_self_signed_ca(pki):
+    root = pki.ca.certificate
+    assert root.is_ca
+    assert root.is_self_signed()
+    root.verify_signature(root.public_key)
+    assert root.allows_usage(KEY_USAGE_CERT_SIGN)
+
+
+def test_serials_are_unique_and_monotonic(pki, rng):
+    serials = [
+        pki.ca.issue(DistinguishedName(f"s{i}"),
+                     generate_keypair(rng).public.to_bytes(), now=0).serial
+        for i in range(5)
+    ]
+    assert serials == sorted(serials)
+    assert len(set(serials)) == 5
+
+
+def test_issue_from_csr_checks_pop(pki, rng):
+    key = generate_keypair(rng)
+    csr = create_csr(key, DistinguishedName("vnf"))
+    cert = pki.ca.issue_from_csr(csr, now=0)
+    assert cert.subject.common_name == "vnf"
+    assert cert.key_usage == (KEY_USAGE_CLIENT_AUTH,)
+
+    import dataclasses
+
+    bad = dataclasses.replace(csr, subject=DistinguishedName("other"))
+    with pytest.raises(InvalidSignature):
+        pki.ca.issue_from_csr(bad, now=0)
+
+
+def test_server_certificates_get_server_usage(pki):
+    assert pki.server_cert.key_usage == (KEY_USAGE_SERVER_AUTH,)
+
+
+def test_issued_lookup(pki):
+    found = pki.ca.issued_certificate(pki.client_cert.serial)
+    assert found == pki.client_cert
+    with pytest.raises(CertificateError):
+        pki.ca.issued_certificate(99999)
+
+
+def test_revocation_appears_in_crl(pki):
+    pki.ca.revoke(pki.client_cert.serial, now=50, reason="key-compromise")
+    crl = pki.ca.current_crl(now=60)
+    assert crl.is_revoked(pki.client_cert.serial)
+    assert not crl.is_revoked(pki.server_cert.serial)
+    crl.verify_signature(pki.ca.certificate.public_key)
+
+
+def test_revocation_is_idempotent(pki):
+    pki.ca.revoke(pki.client_cert.serial, now=50)
+    pki.ca.revoke(pki.client_cert.serial, now=51)
+    crl = pki.ca.current_crl(now=60)
+    assert sum(1 for e in crl.entries
+               if e.serial == pki.client_cert.serial) == 1
+
+
+def test_cannot_revoke_unknown_or_root(pki):
+    with pytest.raises(RevocationError):
+        pki.ca.revoke(424242, now=0)
+    with pytest.raises(RevocationError):
+        pki.ca.revoke(pki.ca.certificate.serial, now=0)
+
+
+def test_issued_count(pki):
+    before = pki.ca.issued_count
+    pki.ca.issue(DistinguishedName("another"),
+                 pki.client_cert.public_key_bytes, now=0)
+    assert pki.ca.issued_count == before + 1

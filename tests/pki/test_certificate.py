@@ -1,0 +1,103 @@
+"""Certificates: structure, validity, signatures, serialization."""
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.errors import (
+    CertificateError,
+    CertificateExpired,
+    EncodingError,
+    InvalidSignature,
+)
+from repro.pki.certificate import Certificate, KEY_USAGE_CLIENT_AUTH
+from repro.pki.name import DistinguishedName
+
+
+def test_roundtrip(pki):
+    cert = pki.client_cert
+    restored = Certificate.from_bytes(cert.to_bytes())
+    assert restored == cert
+    assert restored.fingerprint() == cert.fingerprint()
+
+
+def test_signature_verifies(pki):
+    pki.client_cert.verify_signature(pki.ca.certificate.public_key)
+
+
+def test_signature_rejects_wrong_issuer_key(pki, rng):
+    other = generate_keypair(rng)
+    with pytest.raises(InvalidSignature):
+        pki.client_cert.verify_signature(other.public)
+
+
+def test_tampered_body_fails_verification(pki):
+    import dataclasses
+
+    tampered = dataclasses.replace(pki.client_cert, not_after=9999999999)
+    with pytest.raises(InvalidSignature):
+        tampered.verify_signature(pki.ca.certificate.public_key)
+
+
+def test_validity_window(pki):
+    cert = pki.client_cert
+    cert.check_validity(cert.not_before)
+    cert.check_validity(cert.not_after)
+    with pytest.raises(CertificateExpired):
+        cert.check_validity(cert.not_after + 1)
+    with pytest.raises(CertificateExpired):
+        cert.check_validity(cert.not_before - 1)
+
+
+def test_inverted_validity_rejected(pki):
+    with pytest.raises(CertificateError):
+        Certificate(
+            serial=1,
+            subject=DistinguishedName("x"),
+            issuer=DistinguishedName("y"),
+            public_key_bytes=pki.client_cert.public_key_bytes,
+            not_before=100,
+            not_after=50,
+        )
+
+
+def test_key_usage_semantics(pki):
+    assert pki.client_cert.allows_usage(KEY_USAGE_CLIENT_AUTH)
+    assert not pki.client_cert.allows_usage("server-auth")
+    unrestricted = Certificate(
+        serial=2,
+        subject=DistinguishedName("x"),
+        issuer=DistinguishedName("y"),
+        public_key_bytes=pki.client_cert.public_key_bytes,
+        not_before=0,
+        not_after=10,
+    )
+    assert unrestricted.allows_usage("anything")
+
+
+def test_self_signed_detection(pki):
+    assert pki.ca.certificate.is_self_signed()
+    assert not pki.client_cert.is_self_signed()
+
+
+def test_malformed_bytes_rejected():
+    with pytest.raises(EncodingError):
+        Certificate.from_bytes(b"garbage")
+    from repro.pki import der
+
+    with pytest.raises(EncodingError):
+        Certificate.from_bytes(der.encode([1, 2, 3]))
+
+
+def test_public_key_property(pki):
+    assert (pki.client_cert.public_key.to_bytes()
+            == pki.client_key.public.to_bytes())
+
+
+def test_san_preserved(pki, rng):
+    key = generate_keypair(rng)
+    cert = pki.ca.issue(
+        DistinguishedName("with-san"), key.public.to_bytes(), now=0,
+        san=("container-1", "10.0.0.5"),
+    )
+    assert Certificate.from_bytes(cert.to_bytes()).san == ("container-1",
+                                                           "10.0.0.5")

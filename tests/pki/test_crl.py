@@ -1,0 +1,59 @@
+"""Certificate revocation lists."""
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.errors import CertificateRevoked, InvalidSignature
+from repro.pki.crl import (
+    CertificateRevocationList,
+    REASON_KEY_COMPROMISE,
+    RevokedEntry,
+    sign_crl,
+)
+from repro.pki.name import DistinguishedName
+
+
+@pytest.fixture
+def crl(rng):
+    key = generate_keypair(rng)
+    issuer = DistinguishedName("CRL-Issuer")
+    entries = [RevokedEntry(5, 100, REASON_KEY_COMPROMISE),
+               RevokedEntry(9, 200)]
+    return key, sign_crl(key, issuer, issued_at=250, next_update=350,
+                         entries=entries)
+
+
+def test_roundtrip(crl):
+    _, signed = crl
+    restored = CertificateRevocationList.from_bytes(signed.to_bytes())
+    assert restored == signed
+
+
+def test_signature(crl, rng):
+    key, signed = crl
+    signed.verify_signature(key.public)
+    with pytest.raises(InvalidSignature):
+        signed.verify_signature(generate_keypair(rng).public)
+
+
+def test_is_revoked_and_check(crl):
+    _, signed = crl
+    assert signed.is_revoked(5)
+    assert signed.is_revoked(9)
+    assert not signed.is_revoked(6)
+    signed.check(6)
+    with pytest.raises(CertificateRevoked):
+        signed.check(5)
+
+
+def test_revocation_reason_preserved(crl):
+    _, signed = crl
+    restored = CertificateRevocationList.from_bytes(signed.to_bytes())
+    assert restored.entries[0].reason == REASON_KEY_COMPROMISE
+
+
+def test_empty_crl(rng):
+    key = generate_keypair(rng)
+    signed = sign_crl(key, DistinguishedName("I"), 0, 100, [])
+    assert len(signed.entries) == 0
+    signed.check(12345)  # nothing revoked

@@ -1,0 +1,46 @@
+"""Certificate signing requests and proof of possession."""
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.errors import InvalidSignature
+from repro.pki.csr import CertificateSigningRequest, create_csr
+from repro.pki.name import DistinguishedName
+
+
+def test_roundtrip(rng):
+    key = generate_keypair(rng)
+    csr = create_csr(key, DistinguishedName("vnf-9"), san=("ctr-9",))
+    restored = CertificateSigningRequest.from_bytes(csr.to_bytes())
+    assert restored == csr
+
+
+def test_proof_of_possession_verifies(rng):
+    key = generate_keypair(rng)
+    create_csr(key, DistinguishedName("vnf-9")).verify_proof_of_possession()
+
+
+def test_wrong_key_fails_pop(rng):
+    holder = generate_keypair(rng)
+    claimed = generate_keypair(rng)
+    # Attacker claims someone else's public key but signs with its own.
+    forged = CertificateSigningRequest(
+        subject=DistinguishedName("mallory"),
+        public_key_bytes=claimed.public.to_bytes(),
+        signature=create_csr(holder, DistinguishedName("mallory")).signature,
+    )
+    with pytest.raises(InvalidSignature):
+        forged.verify_proof_of_possession()
+
+
+def test_tampered_subject_fails_pop(rng):
+    key = generate_keypair(rng)
+    csr = create_csr(key, DistinguishedName("honest"))
+    forged = CertificateSigningRequest(
+        subject=DistinguishedName("impostor"),
+        public_key_bytes=csr.public_key_bytes,
+        san=csr.san,
+        signature=csr.signature,
+    )
+    with pytest.raises(InvalidSignature):
+        forged.verify_proof_of_possession()

@@ -1,0 +1,98 @@
+"""DER-lite: canonical encoding, decoding, and malformed-input rejection."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.pki import der
+
+
+@pytest.mark.parametrize("value", [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    127,
+    128,
+    -128,
+    1 << 100,
+    -(1 << 100),
+    b"",
+    b"\x00\xff" * 10,
+    "",
+    "hello",
+    "unicode: éè€",
+    [],
+    [1, 2, 3],
+    [b"bytes", "text", 42, None, True],
+    [[1, [2, [3, [4]]]]],
+])
+def test_roundtrip(value):
+    decoded = der.decode(der.encode(value))
+    if isinstance(value, tuple):
+        value = list(value)
+    assert decoded == value
+
+
+def test_tuple_encodes_as_list():
+    assert der.decode(der.encode((1, 2))) == [1, 2]
+
+
+def test_encoding_is_canonical():
+    assert der.encode([1, b"x"]) == der.encode([1, b"x"])
+
+
+def test_bool_is_not_int():
+    assert der.decode(der.encode(True)) is True
+    assert der.decode(der.encode(1)) == 1
+    assert der.encode(True) != der.encode(1)
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(EncodingError):
+        der.decode(der.encode(5) + b"\x00")
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(EncodingError):
+        der.decode(b"\x02\x00")
+
+
+def test_truncated_value_rejected():
+    encoded = bytearray(der.encode(b"0123456789"))
+    with pytest.raises(EncodingError):
+        der.decode(bytes(encoded[:-1]))
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(EncodingError):
+        der.decode(b"\x7f\x00\x00\x00\x00")
+
+
+def test_oversized_declared_length_rejected():
+    with pytest.raises(EncodingError):
+        der.decode(b"\x04\x7f\xff\xff\xff")
+
+
+def test_malformed_bool_rejected():
+    with pytest.raises(EncodingError):
+        der.decode(b"\x01\x00\x00\x00\x01\x02")
+
+
+def test_malformed_utf8_rejected():
+    bad = b"\x0c\x00\x00\x00\x02\xff\xfe"
+    with pytest.raises(EncodingError):
+        der.decode(bad)
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(EncodingError):
+        der.encode(3.14)
+    with pytest.raises(EncodingError):
+        der.encode({"a": 1})
+
+
+def test_nested_sequence_lengths():
+    nested = [[b"a" * 100] * 5] * 3
+    assert der.decode(der.encode(nested)) == nested

@@ -1,0 +1,72 @@
+"""Keystore and truststore semantics (the two validation models of E3)."""
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.errors import KeystoreError, UntrustedCertificate
+from repro.pki.keystore import Keystore
+from repro.pki.name import DistinguishedName
+from repro.pki.truststore import Truststore
+
+
+def test_trusted_entries(pki):
+    ks = Keystore()
+    ks.add_trusted("client", pki.client_cert)
+    assert ks.contains_certificate(pki.client_cert)
+    assert not ks.contains_certificate(pki.server_cert)
+    assert ks.trusted_aliases() == ["client"]
+    ks.remove_trusted("client")
+    assert not ks.contains_certificate(pki.client_cert)
+
+
+def test_remove_missing_alias_raises(pki):
+    with pytest.raises(KeystoreError):
+        Keystore().remove_trusted("nope")
+
+
+def test_empty_alias_rejected(pki):
+    with pytest.raises(KeystoreError):
+        Keystore().add_trusted("", pki.client_cert)
+
+
+def test_key_entry_roundtrip(pki):
+    ks = Keystore()
+    ks.set_key_entry("server", pki.server_key, pki.server_cert)
+    key, cert = ks.get_key_entry("server")
+    assert key is pki.server_key and cert is pki.server_cert
+    assert len(ks) == 1
+
+
+def test_key_entry_mismatch_rejected(pki, rng):
+    ks = Keystore()
+    other = generate_keypair(rng)
+    with pytest.raises(KeystoreError):
+        ks.set_key_entry("server", other, pki.server_cert)
+
+
+def test_missing_key_entry(pki):
+    with pytest.raises(KeystoreError):
+        Keystore().get_key_entry("absent")
+
+
+def test_truststore_membership(pki):
+    ts = pki.truststore
+    assert pki.ca.certificate.subject in ts
+    assert len(ts) == 1
+    assert ts.find(pki.ca.certificate.subject) == pki.ca.certificate
+    assert ts.find(DistinguishedName("ghost")) is None
+    with pytest.raises(UntrustedCertificate):
+        ts.require(DistinguishedName("ghost"))
+
+
+def test_truststore_rejects_non_ca(pki):
+    with pytest.raises(KeystoreError):
+        Truststore([pki.client_cert])
+
+
+def test_truststore_remove(pki):
+    ts = Truststore([pki.ca.certificate])
+    ts.remove(pki.ca.certificate.subject)
+    assert len(ts) == 0
+    with pytest.raises(KeystoreError):
+        ts.remove(pki.ca.certificate.subject)

@@ -1,0 +1,40 @@
+"""Distinguished names."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.pki.name import DistinguishedName
+
+
+def test_str_rendering():
+    dn = DistinguishedName("vnf-1", "RISE", "security", "SE")
+    assert str(dn) == "CN=vnf-1,O=RISE,OU=security,C=SE"
+    assert str(DistinguishedName("x")) == "CN=x"
+
+
+def test_roundtrip():
+    dn = DistinguishedName("vnf-1", "RISE")
+    assert DistinguishedName.from_bytes(dn.to_bytes()) == dn
+
+
+def test_requires_common_name():
+    with pytest.raises(EncodingError):
+        DistinguishedName("")
+
+
+def test_equality_and_ordering():
+    assert DistinguishedName("a") == DistinguishedName("a")
+    assert DistinguishedName("a") != DistinguishedName("b")
+    assert DistinguishedName("a") < DistinguishedName("b")
+
+
+def test_usable_as_dict_key():
+    table = {DistinguishedName("x"): 1}
+    assert table[DistinguishedName("x")] == 1
+
+
+def test_from_list_validation():
+    with pytest.raises(EncodingError):
+        DistinguishedName.from_list(["only-two", "items"])
+    with pytest.raises(EncodingError):
+        DistinguishedName.from_list(["a", "b", "c", 4])

@@ -1,0 +1,46 @@
+"""Property-based tests for the DER-lite codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pki import der
+
+# Recursive value strategy mirroring what the codec supports.
+atoms = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(1 << 128), max_value=1 << 128),
+    st.binary(max_size=128),
+    st.text(max_size=64),
+)
+values = st.recursive(
+    atoms, lambda children: st.lists(children, max_size=6), max_leaves=25
+)
+
+
+@given(values)
+@settings(max_examples=150, deadline=None)
+def test_roundtrip(value):
+    assert der.decode(der.encode(value)) == value
+
+
+@given(values)
+@settings(max_examples=100, deadline=None)
+def test_encoding_is_injective_on_distinct_values(value):
+    encoded = der.encode(value)
+    assert der.encode(der.decode(encoded)) == encoded
+
+
+@given(values, st.integers(min_value=0, max_value=500))
+@settings(max_examples=100, deadline=None)
+def test_truncation_never_decodes_silently(value, cut):
+    import pytest
+
+    from repro.errors import EncodingError
+
+    encoded = der.encode(value)
+    if cut >= len(encoded):
+        return
+    truncated = encoded[:cut]
+    with pytest.raises(EncodingError):
+        der.decode(truncated)

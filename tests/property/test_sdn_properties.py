@@ -1,0 +1,63 @@
+"""Property-based tests on the SDN substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sdn.controller import FloodlightController
+from repro.sdn.flows import Packet
+from repro.sdn.switch import Switch
+
+
+def build_random_line_topology(n_switches: int, n_hosts: int):
+    """A line of switches with hosts attached round-robin."""
+    controller = FloodlightController()
+    for index in range(n_switches):
+        controller.register_switch(Switch(f"s{index}"))
+    for index in range(n_switches - 1):
+        controller.topology.add_link(f"s{index}", 100 + index,
+                                     f"s{index + 1}", 200 + index)
+    hosts = []
+    for index in range(n_hosts):
+        name = f"h{index}"
+        controller.topology.attach_host(name, f"s{index % n_switches}",
+                                        index + 1)
+        hosts.append(name)
+    return controller, hosts
+
+
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=2, max_value=8),
+       st.data())
+@settings(max_examples=30, deadline=None)
+def test_reactive_forwarding_always_delivers(n_switches, n_hosts, data):
+    controller, hosts = build_random_line_topology(n_switches, n_hosts)
+    src = data.draw(st.sampled_from(hosts))
+    dst = data.draw(st.sampled_from([h for h in hosts if h != src]))
+    packet = Packet(eth_src=src, eth_dst=dst)
+    # First packet goes through packet-in; subsequent through flows.
+    assert controller.inject_packet(src, packet) == "delivered"
+    assert controller.inject_packet(src, packet) == "delivered"
+
+
+@given(st.integers(min_value=2, max_value=6),
+       st.integers(min_value=2, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_paths_are_minimal_on_a_line(n_switches, n_hosts):
+    controller, hosts = build_random_line_topology(n_switches, n_hosts)
+    topology = controller.topology
+    for src in hosts:
+        for dst in hosts:
+            if src == dst:
+                continue
+            path = topology.shortest_path(src, dst)
+            s_src = int(topology.attachment_point(src)[0][1:])
+            s_dst = int(topology.attachment_point(dst)[0][1:])
+            assert len(path) == abs(s_src - s_dst) + 1
+
+
+@given(st.integers(min_value=1, max_value=5), st.data())
+@settings(max_examples=20, deadline=None)
+def test_unknown_destinations_never_deliver(n_switches, data):
+    controller, hosts = build_random_line_topology(n_switches, 2)
+    packet = Packet(eth_src=hosts[0], eth_dst="nonexistent-host")
+    assert controller.inject_packet(hosts[0], packet) in ("lost", "dropped")

@@ -1,0 +1,82 @@
+"""The controller: reactive forwarding, static flows, data-plane injection."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.sdn.controller import FloodlightController
+from repro.sdn.flows import ACTION_DROP, FlowMatch, FlowRule, Packet, output
+from repro.sdn.switch import Switch
+
+
+@pytest.fixture
+def controller():
+    ctl = FloodlightController()
+    s1, s2 = Switch("s1"), Switch("s2")
+    ctl.register_switch(s1)
+    ctl.register_switch(s2)
+    ctl.topology.add_link("s1", 2, "s2", 2)
+    ctl.topology.attach_host("h1", "s1", 1)
+    ctl.topology.attach_host("h2", "s2", 1)
+    return ctl
+
+
+def test_reactive_forwarding_delivers(controller):
+    packet = Packet(eth_src="h1", eth_dst="h2")
+    assert controller.inject_packet("h1", packet) == "delivered"
+    assert controller.packet_ins_handled == 1
+    # Second packet flows through installed rules: no more packet-ins.
+    assert controller.inject_packet("h1", packet) == "delivered"
+    assert controller.packet_ins_handled == 1
+
+
+def test_reverse_direction_needs_its_own_flows(controller):
+    controller.inject_packet("h1", Packet(eth_src="h1", eth_dst="h2"))
+    assert controller.inject_packet(
+        "h2", Packet(eth_src="h2", eth_dst="h1")
+    ) == "delivered"
+    assert controller.packet_ins_handled == 2
+
+
+def test_unknown_destination_dropped(controller):
+    packet = Packet(eth_src="h1", eth_dst="ghost")
+    assert controller.inject_packet("h1", packet) == "lost"
+
+
+def test_static_flow_push_and_delete(controller):
+    rule = FlowRule("block", FlowMatch.from_dict({"eth_src": "h1"}),
+                    (ACTION_DROP,), priority=900)
+    controller.push_flow("s1", rule)
+    assert controller.flows_pushed == 1
+    assert controller.inject_packet(
+        "h1", Packet(eth_src="h1", eth_dst="h2")
+    ) == "dropped"
+    controller.delete_flow("block")
+    assert controller.inject_packet(
+        "h1", Packet(eth_src="h1", eth_dst="h2")
+    ) == "delivered"
+
+
+def test_delete_unknown_flow_raises(controller):
+    with pytest.raises(FlowError):
+        controller.delete_flow("ghost")
+
+
+def test_static_flows_grouped_by_switch(controller):
+    controller.push_flow("s1", FlowRule(
+        "a", FlowMatch.from_dict({}), (output(2),)
+    ))
+    controller.push_flow("s2", FlowRule(
+        "b", FlowMatch.from_dict({}), (output(2),)
+    ))
+    grouped = controller.static_flows()
+    assert {dpid: [r.name for r in rules] for dpid, rules in grouped.items()} \
+        == {"s1": ["a"], "s2": ["b"]}
+
+
+def test_summary_counts(controller):
+    controller.inject_packet("h1", Packet(eth_src="h1", eth_dst="h2"))
+    summary = controller.summary()
+    assert summary["switches"] == 2
+    assert summary["hosts"] == 2
+    assert summary["packetInsHandled"] == 1
+    assert summary["version"] == "1.2-model"

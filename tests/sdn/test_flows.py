@@ -1,0 +1,100 @@
+"""Flow rules, matches, and table lookup semantics."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.sdn.flows import (
+    ACTION_DROP,
+    FlowMatch,
+    FlowRule,
+    FlowTable,
+    Packet,
+    output,
+)
+
+PKT = Packet(eth_src="h1", eth_dst="h2", ip_src="10.0.0.1",
+             ip_dst="10.0.0.2", tcp_dst=80)
+
+
+def test_match_exact_fields():
+    match = FlowMatch.from_dict({"eth_src": "h1", "tcp_dst": 80})
+    assert match.matches(PKT, in_port=1)
+    assert not match.matches(PKT._replace(tcp_dst=443), in_port=1)
+
+
+def test_match_in_port():
+    match = FlowMatch.from_dict({"in_port": 2})
+    assert match.matches(PKT, in_port=2)
+    assert not match.matches(PKT, in_port=3)
+
+
+def test_empty_match_is_wildcard():
+    assert FlowMatch.from_dict({}).matches(PKT, in_port=9)
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(FlowError):
+        FlowMatch.from_dict({"vlan": 10})
+
+
+def test_rule_validation():
+    match = FlowMatch.from_dict({})
+    with pytest.raises(FlowError):
+        FlowRule("", match, (output(1),))
+    with pytest.raises(FlowError):
+        FlowRule("r", match, ("teleport:3",))
+
+
+def test_rule_actions():
+    rule = FlowRule("r", FlowMatch.from_dict({}), (output(2), output(5)))
+    assert rule.output_ports() == [2, 5]
+    assert not rule.drops
+    assert FlowRule("d", FlowMatch.from_dict({}), (ACTION_DROP,)).drops
+
+
+def test_table_priority_wins():
+    table = FlowTable()
+    table.add(FlowRule("low", FlowMatch.from_dict({}), (output(1),),
+                       priority=10))
+    table.add(FlowRule("high", FlowMatch.from_dict({"eth_src": "h1"}),
+                       (ACTION_DROP,), priority=500))
+    assert table.lookup(PKT, 1).name == "high"
+
+
+def test_table_specificity_breaks_ties():
+    table = FlowTable()
+    table.add(FlowRule("vague", FlowMatch.from_dict({}), (output(1),),
+                       priority=100))
+    table.add(FlowRule("precise",
+                       FlowMatch.from_dict({"eth_src": "h1",
+                                            "eth_dst": "h2"}),
+                       (output(2),), priority=100))
+    assert table.lookup(PKT, 1).name == "precise"
+
+
+def test_table_miss_returns_none():
+    table = FlowTable()
+    table.add(FlowRule("other", FlowMatch.from_dict({"eth_src": "hX"}),
+                       (output(1),)))
+    assert table.lookup(PKT, 1) is None
+
+
+def test_table_counts_matches():
+    table = FlowTable()
+    rule = FlowRule("r", FlowMatch.from_dict({}), (output(1),))
+    table.add(rule)
+    table.lookup(PKT, 1)
+    table.lookup(PKT, 1)
+    assert rule.packets_matched == 2
+
+
+def test_table_replace_and_remove():
+    table = FlowTable()
+    table.add(FlowRule("r", FlowMatch.from_dict({}), (output(1),)))
+    table.add(FlowRule("r", FlowMatch.from_dict({}), (output(9),)))
+    assert len(table) == 1
+    assert table.lookup(PKT, 1).output_ports() == [9]
+    table.remove("r")
+    assert "r" not in table
+    with pytest.raises(FlowError):
+        table.remove("r")

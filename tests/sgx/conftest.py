@@ -1,0 +1,75 @@
+"""SGX test fixtures: a platform and a secret-keeping test enclave."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.net.clock import VirtualClock
+from repro.sgx.enclave import EnclaveImage
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.sealing import SealedBlob
+from repro.sgx.sigstruct import sign_image
+
+
+class KeeperBehavior:
+    """A small enclave that guards one secret."""
+
+    ECALLS = ("store", "mac", "get_report", "seal", "restore", "run_ocall")
+
+    def __init__(self, api):
+        self._api = api
+
+    def store(self, secret: bytes) -> None:
+        self._api.memory.write("secret", secret)
+
+    def mac(self, message: bytes) -> bytes:
+        from repro.crypto.hmac import hmac_sha256
+
+        return hmac_sha256(self._api.memory.read("secret"), message)
+
+    def get_report(self, target, report_data: bytes) -> bytes:
+        return self._api.create_report(target, report_data).to_bytes()
+
+    def seal(self, policy: str) -> bytes:
+        return self._api.seal(self._api.memory.read("secret"),
+                              policy).to_bytes()
+
+    def restore(self, blob_bytes: bytes) -> None:
+        self._api.memory.write(
+            "secret", self._api.unseal(SealedBlob.from_bytes(blob_bytes))
+        )
+
+    def run_ocall(self, fn) -> object:
+        return self._api.ocall(fn)
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def platform(clock, rng) -> SgxPlatform:
+    return SgxPlatform("test-platform", clock=clock, rng=rng)
+
+
+@pytest.fixture
+def vendor_key(rng):
+    return generate_keypair(rng)
+
+
+@pytest.fixture
+def keeper_image() -> EnclaveImage:
+    return EnclaveImage.from_behavior_class(KeeperBehavior, "keeper")
+
+
+@pytest.fixture
+def keeper_sigstruct(vendor_key, keeper_image):
+    return sign_image(vendor_key, keeper_image.code, "test-vendor",
+                      isv_prod_id=7, isv_svn=3)
+
+
+@pytest.fixture
+def keeper(platform, keeper_image, keeper_sigstruct):
+    return platform.create_enclave(keeper_image, keeper_sigstruct)

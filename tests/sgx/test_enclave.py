@@ -1,0 +1,124 @@
+"""Enclave lifecycle, launch control, ECALL boundary, OCALLs."""
+
+import pytest
+
+from repro.errors import (
+    EcallError,
+    EnclaveLifecycleError,
+    EnclaveMemoryViolation,
+    LaunchError,
+)
+from repro.sgx.measurement import measure_image
+from repro.sgx.sigstruct import sign_image
+
+
+def test_launch_verifies_measurement(platform, keeper_image, vendor_key,
+                                     keeper_sigstruct):
+    enclave = platform.create_enclave(keeper_image, keeper_sigstruct)
+    assert enclave.mrenclave == measure_image(keeper_image.code)
+    assert enclave.identity.mrsigner == keeper_sigstruct.mrsigner
+    assert enclave.identity.isv_prod_id == 7
+    assert enclave.identity.isv_svn == 3
+
+
+def test_tampered_image_refused(platform, keeper_image, keeper_sigstruct):
+    with pytest.raises(LaunchError):
+        platform.create_enclave(keeper_image.tampered(), keeper_sigstruct)
+
+
+def test_bad_sigstruct_signature_refused(platform, keeper_image, vendor_key):
+    import dataclasses
+
+    good = sign_image(vendor_key, keeper_image.code, "v")
+    bad = dataclasses.replace(good, vendor="other")  # breaks the signature
+    with pytest.raises(LaunchError):
+        platform.create_enclave(keeper_image, bad)
+
+
+def test_ecall_roundtrip(keeper):
+    keeper.ecall("store", b"secret")
+    mac = keeper.ecall("mac", b"message")
+    assert len(mac) == 32
+
+
+def test_secret_unreachable_from_outside(keeper):
+    keeper.ecall("store", b"secret")
+    with pytest.raises(EnclaveMemoryViolation):
+        keeper.memory.read("secret")
+
+
+def test_undeclared_ecall_rejected(keeper):
+    with pytest.raises(EcallError):
+        keeper.ecall("not_an_entrypoint")
+    # Internal helpers are not callable either, even if they exist.
+    with pytest.raises(EcallError):
+        keeper.ecall("_api")
+
+
+def test_entrypoints_listed(keeper):
+    assert "store" in keeper.entrypoints
+    assert "mac" in keeper.entrypoints
+
+
+def test_destroyed_enclave_refuses_ecalls(platform, keeper):
+    platform.destroy_enclave(keeper)
+    assert keeper.destroyed
+    with pytest.raises(EnclaveLifecycleError):
+        keeper.ecall("store", b"x")
+
+
+def test_ocall_blocks_memory_access(keeper):
+    keeper.ecall("store", b"secret")
+    observed = {}
+
+    def untrusted():
+        # Runs outside the enclave even though invoked from within.
+        try:
+            keeper.memory.read("secret")
+            observed["leak"] = True
+        except EnclaveMemoryViolation:
+            observed["leak"] = False
+        return "done"
+
+    assert keeper.ecall("run_ocall", untrusted) == "done"
+    assert observed["leak"] is False
+
+
+def test_transition_costs_charged(platform, keeper, clock):
+    before_time = clock.now()
+    before_ecalls = platform.accountant.ecalls
+    keeper.ecall("store", b"payload-bytes")
+    assert platform.accountant.ecalls == before_ecalls + 1
+    assert clock.now() > before_time
+
+
+def test_ocall_counted(platform, keeper):
+    keeper.ecall("store", b"s")
+    before = platform.accountant.ocalls
+    keeper.ecall("run_ocall", lambda: None)
+    assert platform.accountant.ocalls == before + 1
+
+
+def test_two_instances_same_measurement(platform, keeper_image,
+                                        keeper_sigstruct):
+    a = platform.create_enclave(keeper_image, keeper_sigstruct)
+    b = platform.create_enclave(keeper_image, keeper_sigstruct)
+    assert a.mrenclave == b.mrenclave
+    assert a.label != b.label
+    # ...but isolated state: storing in one is invisible to the other.
+    a.ecall("store", b"private-to-a")
+    with pytest.raises(KeyError):
+        b.ecall("mac", b"m")
+
+
+def test_image_fallback_for_sourceless_classes():
+    from repro.sgx.enclave import EnclaveImage
+
+    cls = type("Dynamic", (), {
+        "ECALLS": ("noop",),
+        "__init__": lambda self, api: None,
+        "noop": lambda self: "ok",
+    })
+    image = EnclaveImage.from_behavior_class(cls, "dynamic")
+    assert image.code  # deterministic fallback serialization
+    assert image.code == EnclaveImage.from_behavior_class(cls, "dynamic").code

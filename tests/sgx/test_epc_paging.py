@@ -1,0 +1,66 @@
+"""EPC paging model: working sets beyond the EPC share pay for it."""
+
+import pytest
+
+from repro.net.clock import VirtualClock
+from repro.sgx.ecall import ACCOUNT, CostModel, TransitionAccountant
+from repro.sgx.memory import EnclaveMemory
+
+
+def test_no_paging_within_epc():
+    memory = EnclaveMemory("small", epc_slots=8)
+    memory.enter()
+    for i in range(8):
+        memory.write(f"k{i}", i)
+    memory.exit()
+    assert memory.page_faults == 0
+
+
+def test_paging_beyond_epc_charges_clock():
+    clock = VirtualClock()
+    accountant = TransitionAccountant(CostModel(), clock)
+    memory = EnclaveMemory("big", epc_slots=4)
+    memory.attach_accountant(accountant)
+    memory.enter()
+    for i in range(10):
+        memory.write(f"k{i}", i)
+    memory.exit()
+    assert memory.page_faults == 6  # writes 5..10 exceed the share
+    assert clock.charges()[ACCOUNT] > 0
+
+
+def test_rewrites_of_resident_keys_do_not_grow_set():
+    memory = EnclaveMemory("steady", epc_slots=2)
+    memory.enter()
+    memory.write("a", 1)
+    memory.write("b", 2)
+    for _ in range(20):
+        memory.write("a", 3)  # resident rewrite: no growth, no fault
+    memory.exit()
+    assert memory.page_faults == 0
+
+
+def test_enclaves_wire_paging_automatically(rng):
+    from repro.crypto.keys import generate_keypair
+    from repro.sgx.enclave import EnclaveImage
+    from repro.sgx.platform import SgxPlatform
+    from repro.sgx.sigstruct import sign_image
+
+    class Hungry:
+        ECALLS = ("fill",)
+
+        def __init__(self, api):
+            self._api = api
+
+        def fill(self, count: int) -> None:
+            for i in range(count):
+                self._api.memory.write(f"slot-{i}", bytes(32))
+
+    clock = VirtualClock()
+    platform = SgxPlatform("pager", clock=clock, rng=rng)
+    image = EnclaveImage.from_behavior_class(Hungry, "hungry")
+    enclave = platform.create_enclave(
+        image, sign_image(generate_keypair(rng), image.code, "v")
+    )
+    enclave.ecall("fill", 100)
+    assert enclave.memory.page_faults == 100 - 64  # default epc_slots

@@ -1,0 +1,40 @@
+"""MRENCLAVE computation."""
+
+from repro.sgx.measurement import PAGE_SIZE, measure_image
+
+
+def test_measurement_is_deterministic():
+    assert measure_image(b"code") == measure_image(b"code")
+    assert len(measure_image(b"code")) == 32
+
+
+def test_single_byte_change_changes_measurement():
+    assert measure_image(b"code") != measure_image(b"codf")
+
+
+def test_appended_byte_changes_measurement():
+    assert measure_image(b"code") != measure_image(b"code\x00x")
+
+
+def test_empty_image_measures():
+    assert len(measure_image(b"")) == 32
+
+
+def test_padding_within_page_is_canonical():
+    # Zero-padding to the page boundary is part of the measured image, so
+    # explicit trailing zeros inside one page measure identically...
+    assert measure_image(b"abc") == measure_image(b"abc" + b"\x00" * 10)
+    # ...but adding a whole extra page of zeros does not.
+    assert measure_image(b"abc") != measure_image(
+        b"abc".ljust(PAGE_SIZE + 1, b"\x00")
+    )
+
+
+def test_attributes_affect_measurement():
+    assert measure_image(b"c", attributes=0) != measure_image(b"c",
+                                                              attributes=1)
+
+
+def test_multi_page_images():
+    big = bytes(range(256)) * 64  # 16 KiB, 4 pages
+    assert measure_image(big) != measure_image(big[:-1])

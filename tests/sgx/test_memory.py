@@ -1,0 +1,82 @@
+"""The enclave-memory isolation gate (invariant I1's enforcement point)."""
+
+import pytest
+
+from repro.errors import EnclaveMemoryViolation
+from repro.sgx.memory import EnclaveMemory
+
+
+@pytest.fixture
+def memory():
+    return EnclaveMemory("test-enclave")
+
+
+def test_outside_access_denied(memory):
+    for operation in (
+        lambda: memory.read("k"),
+        lambda: memory.write("k", 1),
+        lambda: memory.delete("k"),
+        lambda: memory.contains("k"),
+        lambda: memory.keys(),
+    ):
+        with pytest.raises(EnclaveMemoryViolation):
+            operation()
+
+
+def test_inside_access_allowed(memory):
+    memory.enter()
+    try:
+        memory.write("k", b"v")
+        assert memory.read("k") == b"v"
+        assert memory.contains("k")
+        assert list(memory.keys()) == ["k"]
+        memory.delete("k")
+        assert not memory.contains("k")
+    finally:
+        memory.exit()
+
+
+def test_gate_closes_on_exit(memory):
+    memory.enter()
+    memory.write("k", 1)
+    memory.exit()
+    with pytest.raises(EnclaveMemoryViolation):
+        memory.read("k")
+
+
+def test_reentrancy_depth(memory):
+    memory.enter()
+    memory.enter()
+    memory.exit()
+    memory.write("k", 1)  # still inside at depth 1
+    memory.exit()
+    with pytest.raises(EnclaveMemoryViolation):
+        memory.read("k")
+
+
+def test_unbalanced_exit_rejected(memory):
+    with pytest.raises(EnclaveMemoryViolation):
+        memory.exit()
+
+
+def test_wipe_allowed_from_outside(memory):
+    memory.enter()
+    memory.write("k", 1)
+    memory.exit()
+    memory.wipe()  # EREMOVE destroys without disclosing
+    assert len(memory) == 0
+
+
+def test_missing_key_raises_keyerror(memory):
+    memory.enter()
+    with pytest.raises(KeyError):
+        memory.read("absent")
+    memory.exit()
+
+
+def test_size_is_host_visible(memory):
+    memory.enter()
+    memory.write("a", 1)
+    memory.write("b", 2)
+    memory.exit()
+    assert len(memory) == 2  # metadata only, no content

@@ -1,0 +1,38 @@
+"""The platform: registries, QE lifecycle, EPID provisioning state."""
+
+import pytest
+
+from repro.sgx.epid import EpidGroup
+
+
+def test_enclave_registry(platform, keeper_image, keeper_sigstruct):
+    enclave = platform.create_enclave(keeper_image, keeper_sigstruct)
+    assert enclave.label in platform.enclaves()
+    platform.destroy_enclave(enclave)
+    assert enclave.label not in platform.enclaves()
+
+
+def test_labels_unique(platform, keeper_image, keeper_sigstruct):
+    a = platform.create_enclave(keeper_image, keeper_sigstruct)
+    b = platform.create_enclave(keeper_image, keeper_sigstruct)
+    assert a.label != b.label
+
+
+def test_quoting_enclave_lazy_singleton(platform):
+    assert platform.quoting_enclave is platform.quoting_enclave
+
+
+def test_epid_provisioning_state(platform, rng):
+    assert not platform.epid_provisioned
+    group = EpidGroup(b"g", rng.random_bytes(32))
+    platform.provision_epid(group.issue_member(rng), group.sealing_key())
+    assert platform.epid_provisioned
+
+
+def test_platforms_have_distinct_secrets(rng, clock):
+    from repro.sgx.platform import SgxPlatform
+
+    a = SgxPlatform("a", clock=clock, rng=rng)
+    b = SgxPlatform("b", clock=clock, rng=rng)
+    assert a._fuse_key != b._fuse_key
+    assert a._report_secret != b._report_secret

@@ -1,0 +1,88 @@
+"""The quoting enclave and quote structures."""
+
+import pytest
+
+from repro.errors import QuoteError
+from repro.sgx.epid import EpidGroup
+from repro.sgx.quote import Quote
+from repro.sgx.report import Report
+
+
+@pytest.fixture
+def provisioned(platform, rng):
+    group = EpidGroup(b"g", rng.random_bytes(32))
+    member = group.issue_member(rng)
+    platform.provision_epid(member, group.sealing_key())
+    return group
+
+
+def get_report(keeper, platform, data: bytes) -> Report:
+    qe = platform.quoting_enclave
+    return Report.from_bytes(
+        keeper.ecall("get_report", qe.target_info(), data)
+    )
+
+
+def test_quote_generation_and_fields(platform, keeper, provisioned):
+    report = get_report(keeper, platform, b"\x07" * 64)
+    quote = platform.quoting_enclave.generate(report, b"deployment")
+    assert quote.mrenclave == keeper.mrenclave
+    assert quote.report_data == b"\x07" * 64
+    assert quote.basename == b"deployment"
+    assert quote.isv_prod_id == keeper.identity.isv_prod_id
+
+
+def test_quote_signature_verifies_at_manager(platform, keeper, provisioned):
+    report = get_report(keeper, platform, b"\x07" * 64)
+    quote = platform.quoting_enclave.generate(report, b"deployment")
+    provisioned.verify(quote.signature(), quote.body_bytes())
+
+
+def test_quote_serialization_roundtrip(platform, keeper, provisioned):
+    report = get_report(keeper, platform, b"\x01" * 64)
+    quote = platform.quoting_enclave.generate(report, b"d")
+    assert Quote.from_bytes(quote.to_bytes()) == quote
+
+
+def test_unprovisioned_platform_cannot_quote(platform, keeper):
+    report = get_report(keeper, platform, b"\x00" * 64)
+    with pytest.raises(QuoteError):
+        platform.quoting_enclave.generate(report, b"d")
+
+
+def test_report_for_wrong_target_rejected(platform, keeper, provisioned):
+    # Aim the report at the keeper itself instead of the QE.
+    bad_report = Report.from_bytes(
+        keeper.ecall("get_report", keeper.target_info(), b"\x00" * 64)
+    )
+    with pytest.raises(QuoteError):
+        platform.quoting_enclave.generate(bad_report, b"d")
+
+
+def test_cross_platform_report_rejected(platform, keeper, provisioned, rng,
+                                        clock):
+    from repro.sgx.platform import SgxPlatform
+    from repro.sgx.enclave import EnclaveImage
+    from repro.sgx.sigstruct import sign_image
+    from repro.crypto.keys import generate_keypair
+    from tests.sgx.conftest import KeeperBehavior
+
+    other = SgxPlatform("other-platform", clock=clock, rng=rng)
+    image = EnclaveImage.from_behavior_class(KeeperBehavior, "keeper")
+    sigstruct = sign_image(generate_keypair(rng), image.code, "v")
+    foreign = other.create_enclave(image, sigstruct)
+    # Report produced on the other platform, quoted on this one: the MAC
+    # key differs per platform, so the QE must refuse.
+    foreign_report = Report.from_bytes(foreign.ecall(
+        "get_report", platform.quoting_enclave.target_info(), b"\x00" * 64
+    ))
+    with pytest.raises(QuoteError):
+        platform.quoting_enclave.generate(foreign_report, b"d")
+
+
+def test_epid_member_key_isolated_in_qe(platform, provisioned):
+    from repro.errors import EnclaveMemoryViolation
+
+    qe_enclave = platform.quoting_enclave.enclave
+    with pytest.raises(EnclaveMemoryViolation):
+        qe_enclave.memory.read("epid_member")

@@ -1,0 +1,51 @@
+"""SIGSTRUCT: vendor signatures, MRSIGNER, serialization."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.crypto.sha256 import sha256
+from repro.errors import LaunchError
+from repro.sgx.sigstruct import SigStruct, sign_image
+
+
+def test_sign_and_verify(vendor_key):
+    sigstruct = sign_image(vendor_key, b"enclave code", "vendor")
+    sigstruct.verify()
+
+
+def test_mrsigner_is_key_hash(vendor_key):
+    sigstruct = sign_image(vendor_key, b"code", "vendor")
+    assert sigstruct.mrsigner == sha256(vendor_key.public.to_bytes())
+
+
+def test_same_signer_same_mrsigner_different_code(vendor_key):
+    a = sign_image(vendor_key, b"code-a", "vendor")
+    b = sign_image(vendor_key, b"code-b", "vendor")
+    assert a.mrsigner == b.mrsigner
+    assert a.enclave_hash != b.enclave_hash
+
+
+def test_tampered_fields_fail_verification(vendor_key):
+    sigstruct = sign_image(vendor_key, b"code", "vendor", isv_svn=1)
+    tampered = dataclasses.replace(sigstruct, isv_svn=99)
+    with pytest.raises(LaunchError):
+        tampered.verify()
+
+
+def test_wrong_signer_key_fails(vendor_key, rng):
+    sigstruct = sign_image(vendor_key, b"code", "vendor")
+    other = generate_keypair(rng)
+    forged = dataclasses.replace(sigstruct,
+                                 signer_public=other.public.to_bytes())
+    with pytest.raises(LaunchError):
+        forged.verify()
+
+
+def test_serialization_roundtrip(vendor_key):
+    sigstruct = sign_image(vendor_key, b"code", "vendor", isv_prod_id=9,
+                           isv_svn=4, attributes=1)
+    restored = SigStruct.from_bytes(sigstruct.to_bytes())
+    assert restored == sigstruct
+    restored.verify()

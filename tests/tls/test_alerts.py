@@ -1,0 +1,28 @@
+"""Alert encoding and naming."""
+
+import pytest
+
+from repro.errors import TlsAlert
+from repro.tls import alerts
+
+
+def test_encode_decode_roundtrip():
+    payload = alerts.encode_alert(alerts.LEVEL_FATAL, alerts.UNKNOWN_CA)
+    assert alerts.decode_alert(payload) == (alerts.LEVEL_FATAL,
+                                            alerts.UNKNOWN_CA)
+
+
+def test_decode_rejects_bad_length():
+    with pytest.raises(TlsAlert):
+        alerts.decode_alert(b"\x02")
+
+
+def test_alert_names():
+    assert alerts.alert_name(alerts.CLOSE_NOTIFY) == "close_notify"
+    assert alerts.alert_name(alerts.BAD_RECORD_MAC) == "bad_record_mac"
+    assert alerts.alert_name(250) == "alert_250"
+
+
+def test_tls_alert_exception_carries_description():
+    exc = TlsAlert(alerts.ACCESS_DENIED, "denied")
+    assert exc.description == alerts.ACCESS_DENIED

@@ -1,0 +1,107 @@
+"""Handshake message encoding/decoding and the transcript buffer."""
+
+import pytest
+
+from repro.errors import TlsError
+from repro.pki.name import DistinguishedName
+from repro.tls import handshake as hs
+from repro.tls.constants import (
+    HS_CERTIFICATE,
+    HS_CLIENT_HELLO,
+    HS_FINISHED,
+    RANDOM_SIZE,
+)
+
+
+def test_client_hello_roundtrip():
+    hello = hs.ClientHello(random=b"\x01" * 32, session_id=b"\x02" * 32,
+                           cipher_suites=[0xC02B, 0xC02C])
+    framed = hello.encode()
+    buffer = hs.HandshakeBuffer()
+    [(msg_type, decoded)] = buffer.feed(framed)
+    assert msg_type == HS_CLIENT_HELLO
+    assert decoded == hello
+
+
+def test_server_hello_roundtrip():
+    sh = hs.ServerHello(random=b"\x03" * 32, session_id=b"", cipher_suite=0xC02B)
+    [(_, decoded)] = hs.HandshakeBuffer().feed(sh.encode())
+    assert decoded == sh
+
+
+def test_certificate_msg_roundtrip(pki):
+    msg = hs.CertificateMsg([pki.server_cert, pki.ca.certificate])
+    [(msg_type, decoded)] = hs.HandshakeBuffer().feed(msg.encode())
+    assert msg_type == HS_CERTIFICATE
+    assert decoded.chain == [pki.server_cert, pki.ca.certificate]
+
+
+def test_empty_certificate_msg():
+    [(_, decoded)] = hs.HandshakeBuffer().feed(hs.CertificateMsg([]).encode())
+    assert decoded.chain == []
+
+
+def test_server_key_exchange_roundtrip():
+    ske = hs.ServerKeyExchange(public_point=b"\x04" + b"\x05" * 64,
+                               signature=b"\x06" * 64)
+    [(_, decoded)] = hs.HandshakeBuffer().feed(ske.encode())
+    assert decoded == ske
+
+
+def test_certificate_request_roundtrip():
+    req = hs.CertificateRequest([DistinguishedName("CA-1"),
+                                 DistinguishedName("CA-2", "org")])
+    [(_, decoded)] = hs.HandshakeBuffer().feed(req.encode())
+    assert decoded.authorities == req.authorities
+
+
+def test_signed_params_cover_randoms():
+    a = hs.ServerKeyExchange.signed_params(b"c" * 32, b"s" * 32, b"point")
+    b = hs.ServerKeyExchange.signed_params(b"C" * 32, b"s" * 32, b"point")
+    assert a != b
+
+
+def test_partial_message_buffers():
+    hello = hs.ClientHello(b"\x01" * 32, b"", [0xC02B]).encode()
+    buffer = hs.HandshakeBuffer()
+    assert buffer.feed(hello[:10]) == []
+    [(msg_type, _)] = buffer.feed(hello[10:])
+    assert msg_type == HS_CLIENT_HELLO
+
+
+def test_transcript_covers_both_directions():
+    buffer = hs.HandshakeBuffer()
+    sent = buffer.append_sent(hs.ClientHello(b"\x01" * 32, b"", [1]).encode())
+    received = hs.ServerHello(b"\x02" * 32, b"", 0xC02B).encode()
+    buffer.feed(received)
+    from repro.crypto import sha256
+
+    assert buffer.transcript_hash() == sha256(sent + received)
+
+
+def test_snapshot_before_finished():
+    buffer = hs.HandshakeBuffer()
+    hello = hs.ClientHello(b"\x01" * 32, b"", [1]).encode()
+    buffer.feed(hello)
+    buffer.feed(hs.Finished(b"\x00" * 12).encode())
+    snapshot_hash, snapshot_bytes = buffer.snapshot_before[HS_FINISHED]
+    assert snapshot_bytes == hello
+
+
+def test_unknown_handshake_type_rejected():
+    buffer = hs.HandshakeBuffer()
+    bogus = bytes([99]) + b"\x00\x00\x01" + b"\x00"
+    with pytest.raises(TlsError):
+        buffer.feed(bogus)
+
+
+def test_trailing_bytes_rejected():
+    hello = hs.ClientHello(b"\x01" * 32, b"", [1]).encode()
+    padded = hello[:1] + (len(hello[4:]) + 1).to_bytes(3, "big") + hello[4:] + b"\x00"
+    with pytest.raises(TlsError):
+        hs.HandshakeBuffer().feed(padded)
+
+
+def test_vec8_overflow_rejected():
+    with pytest.raises(TlsError):
+        hs.ClientHello(b"\x01" * 32, b"\x00" * 300, [1]).encode()

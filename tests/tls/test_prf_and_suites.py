@@ -1,0 +1,61 @@
+"""TLS PRF vector and cipher-suite negotiation."""
+
+import pytest
+
+from repro.errors import HandshakeFailure
+from repro.tls import ciphersuites
+from repro.tls.prf import p_sha256, prf
+
+
+def test_prf_known_vector():
+    # Published P_SHA256 test vector (from the TLS 1.2 mailing-list KAT).
+    secret = bytes.fromhex("9bbe436ba940f017b17652849a71db35")
+    seed = bytes.fromhex("a0ba9f936cda311827a6f796ffd5198c")
+    label = b"test label"
+    out = prf(secret, label, seed, 100)
+    assert out.hex() == (
+        "e3f229ba727be17b8d122620557cd453c2aab21d07c3d495329b52d4e61edb5a"
+        "6b301791e90d35c9c9a46b4e14baf9af0fa022f7077def17abfd3797c0564bab"
+        "4fbc91666e9def9b97fce34f796789baa48082d122ee42c5a72e5a5110fff701"
+        "87347b66"
+    )
+
+
+def test_prf_length_and_determinism():
+    assert len(p_sha256(b"s", b"seed", 7)) == 7
+    assert prf(b"s", b"l", b"x", 32) == prf(b"s", b"l", b"x", 32)
+    assert prf(b"s", b"l1", b"x", 32) != prf(b"s", b"l2", b"x", 32)
+
+
+def test_lookup_known_suites():
+    suite = ciphersuites.lookup(0xC02B)
+    assert suite.key_length == 16
+    suite256 = ciphersuites.lookup(0xC02C)
+    assert suite256.key_length == 32
+
+
+def test_lookup_unknown_rejected():
+    with pytest.raises(HandshakeFailure):
+        ciphersuites.lookup(0x0005)
+
+
+def test_negotiate_prefers_client_order():
+    chosen = ciphersuites.negotiate([0xC02C, 0xC02B])
+    assert chosen.suite_id == 0xC02C
+
+
+def test_negotiate_skips_unknown():
+    chosen = ciphersuites.negotiate([0x1234, 0xC02B])
+    assert chosen.suite_id == 0xC02B
+
+
+def test_negotiate_no_overlap():
+    with pytest.raises(HandshakeFailure):
+        ciphersuites.negotiate([0x1234, 0x5678])
+
+
+def test_aead_construction():
+    suite = ciphersuites.DEFAULT_SUITE
+    aead = suite.create_aead(b"k" * suite.key_length)
+    nonce = b"n" * 12
+    assert aead.decrypt(nonce, aead.encrypt(nonce, b"data")) == b"data"

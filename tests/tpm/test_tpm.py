@@ -1,0 +1,104 @@
+"""The TPM device: PCR banks, quotes, AIK certification."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.sha256 import sha256
+from repro.errors import InvalidSignature, TpmError
+from repro.pki.ca import CertificateAuthority
+from repro.pki.name import DistinguishedName
+from repro.tpm.aik import issue_aik_certificate
+from repro.tpm.quote import TpmQuote
+from repro.tpm.tpm import NUM_PCRS, TpmDevice
+
+
+@pytest.fixture
+def tpm(rng):
+    return TpmDevice(rng)
+
+
+def test_extend_and_read(tpm):
+    value = tpm.extend(10, sha256(b"event"))
+    assert tpm.read_pcr(10) == value
+    assert tpm.read_pcr(11) != value or tpm.read_pcr(11) == bytes(32)
+
+
+def test_no_pcr_set_api(tpm):
+    # The entire E7 security argument: extend-only, no setter.
+    assert not hasattr(tpm, "set_pcr")
+    assert not hasattr(tpm, "write_pcr")
+
+
+def test_index_bounds(tpm):
+    with pytest.raises(TpmError):
+        tpm.extend(NUM_PCRS, sha256(b"x"))
+    with pytest.raises(TpmError):
+        tpm.read_pcr(-1)
+
+
+def test_quote_verifies(tpm):
+    tpm.extend(10, sha256(b"measurement"))
+    quote = tpm.quote([10], nonce=b"challenge")
+    quote.verify(tpm.aik_public)
+    assert quote.value_of(10) == tpm.read_pcr(10)
+    assert quote.nonce == b"challenge"
+
+
+def test_quote_selection_sorted_and_deduplicated(tpm):
+    quote = tpm.quote([12, 10, 10], nonce=b"n")
+    assert [index for index, _ in quote.pcr_values] == [10, 12]
+
+
+def test_quote_requires_selection(tpm):
+    with pytest.raises(TpmError):
+        tpm.quote([], nonce=b"n")
+
+
+def test_quote_tamper_detected(tpm):
+    quote = tpm.quote([10], nonce=b"n")
+    forged = dataclasses.replace(
+        quote, pcr_values=((10, sha256(b"fake")),)
+    )
+    with pytest.raises(InvalidSignature):
+        forged.verify(tpm.aik_public)
+
+
+def test_quote_nonce_binds(tpm):
+    quote = tpm.quote([10], nonce=b"fresh")
+    forged = dataclasses.replace(quote, nonce=b"replay")
+    with pytest.raises(InvalidSignature):
+        forged.verify(tpm.aik_public)
+
+
+def test_quote_serialization_roundtrip(tpm):
+    tpm.extend(10, sha256(b"m"))
+    quote = tpm.quote([10, 11], nonce=b"n")
+    restored = TpmQuote.from_bytes(quote.to_bytes())
+    assert restored == quote
+    restored.verify(tpm.aik_public)
+
+
+def test_value_of_missing_pcr(tpm):
+    quote = tpm.quote([10], nonce=b"n")
+    with pytest.raises(TpmError):
+        quote.value_of(5)
+
+
+def test_reboot_resets_pcrs(tpm):
+    tpm.extend(10, sha256(b"m"))
+    tpm.reboot()
+    assert tpm.read_pcr(10) == bytes(32)
+
+
+def test_distinct_tpms_distinct_aiks(rng):
+    assert (TpmDevice(rng).aik_public.to_bytes()
+            != TpmDevice(rng).aik_public.to_bytes())
+
+
+def test_aik_certification(tpm, rng):
+    ca = CertificateAuthority(DistinguishedName("Privacy-CA"), rng=rng)
+    cert = issue_aik_certificate(ca, tpm, "host-1", now=0)
+    assert cert.subject.common_name == "aik:host-1"
+    assert cert.public_key_bytes == tpm.aik_public.to_bytes()
+    cert.verify_signature(ca.certificate.public_key)
