@@ -10,7 +10,7 @@ costs one mutual-auth TLS handshake.
 
 import pytest
 
-from repro.bench.harness import Table
+from repro.bench.harness import Table, summarize
 from repro.core import Deployment
 
 
@@ -33,6 +33,21 @@ def test_e1_workflow_breakdown(benchmark):
         table.add_row(step, seconds * 1000, 100 * seconds / grand_total)
     table.add_row("TOTAL", grand_total * 1000, 100.0)
     table.show()
+
+    # Per-step distribution across VNFs (min/median/p90/max).
+    spread = Table(
+        "E1: per-step simulated time across VNFs",
+        ["step", "min_ms", "median_ms", "p90_ms", "max_ms"],
+    )
+    per_step_samples = {}
+    for timings in trace.per_vnf.values():
+        for timing in timings:
+            per_step_samples.setdefault(timing.step, []).append(
+                timing.simulated_seconds
+            )
+    for step, samples in per_step_samples.items():
+        spread.add_row(step, *summarize(samples).row(scale=1e3))
+    spread.show()
 
     print(f"\nclock charges: "
           f"{ {k: round(v * 1000, 3) for k, v in trace.clock_charges.items()} }")

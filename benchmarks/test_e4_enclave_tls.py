@@ -19,7 +19,7 @@ import json
 
 import pytest
 
-from repro.bench.harness import Table, measure
+from repro.bench.harness import Summary, Table, measure, summarize
 from repro.core import Deployment
 from repro.crypto.keys import generate_keypair
 from repro.sgx.ecall import CostModel
@@ -40,15 +40,16 @@ def baseline_trusted_client(deployment):
                                       client_chain=[cert], client_key=key)
 
 
-def request_cost(deployment, send_request, payload: bytes) -> float:
-    """Average simulated seconds per request of ``len(payload)`` bytes."""
+def request_cost(deployment, send_request, payload: bytes) -> Summary:
+    """Distribution of simulated seconds per request of ``len(payload)``
+    bytes (min/median/p90/max over ``REQUESTS_PER_POINT`` requests)."""
     send_request(payload)  # warm the connection
-    total = 0.0
+    samples = []
     for _ in range(REQUESTS_PER_POINT):
         measurement = measure(deployment.clock,
                               lambda: send_request(payload))
-        total += measurement.simulated_seconds
-    return total / REQUESTS_PER_POINT
+        samples.append(measurement.simulated_seconds)
+    return summarize(samples)
 
 
 @pytest.mark.experiment("E4")
@@ -70,15 +71,20 @@ def test_e4_enclave_vs_plain_tls(benchmark):
     table = Table(
         "E4: per-request simulated time, in-enclave vs. plain TLS "
         "(datacenter link)",
-        ["payload_B", "enclave_us", "plain_us", "overhead_us"],
+        ["payload_B", "enclave_med_us", "enclave_p90_us", "plain_med_us",
+         "plain_p90_us", "overhead_us"],
     )
     for size in PAYLOAD_SIZES:
         payload = b"\x20" * size
         enclave_cost = request_cost(deployment, enclave_request, payload)
         plain_cost = request_cost(deployment, baseline_request, payload)
-        table.add_row(size, enclave_cost * 1e6, plain_cost * 1e6,
-                      (enclave_cost - plain_cost) * 1e6)
-        assert enclave_cost > plain_cost  # transitions are never free
+        table.add_row(size, enclave_cost.median * 1e6,
+                      enclave_cost.p90 * 1e6, plain_cost.median * 1e6,
+                      plain_cost.p90 * 1e6,
+                      (enclave_cost.median - plain_cost.median) * 1e6)
+        # Transitions are never free — at the median and in the tail.
+        assert enclave_cost.median > plain_cost.median
+        assert enclave_cost.p90 > plain_cost.p90
     table.show()
 
     # --- relative overhead vs. link latency -----------------------------
@@ -86,7 +92,7 @@ def test_e4_enclave_vs_plain_tls(benchmark):
 
     latency_table = Table(
         "E4: relative enclave overhead vs. controller link latency",
-        ["link", "one_way_latency_us", "enclave_us", "plain_us",
+        ["link", "one_way_latency_us", "enclave_med_us", "plain_med_us",
          "overhead_%"],
     )
     overhead_by_link = []
@@ -100,10 +106,12 @@ def test_e4_enclave_vs_plain_tls(benchmark):
         payload = b"\x20" * 1024
         enclave_cost = request_cost(deployment, enclave_request, payload)
         plain_cost = request_cost(deployment, baseline_request, payload)
-        overhead = 100 * (enclave_cost - plain_cost) / plain_cost
+        overhead = (100 * (enclave_cost.median - plain_cost.median)
+                    / plain_cost.median)
         overhead_by_link.append(overhead)
         latency_table.add_row(label, profile.latency * 1e6,
-                              enclave_cost * 1e6, plain_cost * 1e6,
+                              enclave_cost.median * 1e6,
+                              plain_cost.median * 1e6,
                               overhead)
     latency_table.show()
     # The slower the link, the smaller the relative enclave cost — the
@@ -130,7 +138,7 @@ def test_e4_enclave_vs_plain_tls(benchmark):
             return ab_enclave.ecall("request", "POST",
                                     "/wm/staticflowpusher/json", payload)
 
-        cost = request_cost(ablation, ab_request, b"\x20" * 1024)
+        cost = request_cost(ablation, ab_request, b"\x20" * 1024).median
         costs.append(cost)
         sweep.add_row(cycles, cost * 1e6)
     sweep.show()

@@ -1,6 +1,13 @@
 """Shared benchmark infrastructure: result tables and workload generators."""
 
-from repro.bench.harness import Measurement, Table, measure
+from repro.bench.harness import (
+    Measurement,
+    Recorder,
+    Summary,
+    Table,
+    measure,
+    summarize,
+)
 from repro.bench.workloads import (
     deployment_with_iml_size,
     fleet_deployment,
@@ -9,8 +16,11 @@ from repro.bench.workloads import (
 
 __all__ = [
     "Measurement",
+    "Recorder",
+    "Summary",
     "Table",
     "measure",
+    "summarize",
     "deployment_with_iml_size",
     "fleet_deployment",
     "synthetic_files",

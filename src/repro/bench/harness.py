@@ -4,15 +4,20 @@ Every experiment prints its rows through :class:`Table`, so benchmark
 output reads like the tables a paper would carry.  :func:`measure` wraps a
 callable and reports both *simulated* time (virtual clock — machine
 independent, what the experiment shapes are judged on) and wall time.
+:func:`summarize` condenses repeated samples into the min/median/p90/max
+row the experiment tables cite, and :class:`Recorder` streams measurements
+into a metrics registry so tables can also quote histogram percentiles.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.net.clock import VirtualClock
+from repro.obs import Histogram, MetricsRegistry
 
 
 @dataclass
@@ -34,6 +39,81 @@ def measure(clock: Optional[VirtualClock], fn: Callable[[], Any]) -> Measurement
         simulated_seconds=(clock.now() - sim_start) if clock is not None else 0.0,
         wall_seconds=time.perf_counter() - wall_start,
     )
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Distribution summary over repeated samples."""
+
+    count: int
+    minimum: float
+    median: float
+    p90: float
+    maximum: float
+
+    def row(self, scale: float = 1.0) -> Tuple[float, float, float, float]:
+        """``(min, median, p90, max)`` with an optional unit scale
+        (e.g. ``1e3`` for milliseconds)."""
+        return (self.minimum * scale, self.median * scale,
+                self.p90 * scale, self.maximum * scale)
+
+
+def _nearest_rank(ordered: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile on an already-sorted sequence."""
+    if not ordered:
+        raise ValueError("cannot take a percentile of zero samples")
+    rank = max(1, math.ceil(quantile * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Condense ``samples`` into min/median/p90/max (nearest-rank)."""
+    if not samples:
+        raise ValueError("summarize() needs at least one sample")
+    ordered = sorted(samples)
+    return Summary(
+        count=len(ordered),
+        minimum=ordered[0],
+        median=_nearest_rank(ordered, 0.50),
+        p90=_nearest_rank(ordered, 0.90),
+        maximum=ordered[-1],
+    )
+
+
+class Recorder:
+    """Streams measurements into a metrics registry.
+
+    Experiments that want their tables backed by the same histogram
+    machinery the telemetry subsystem uses can attach a
+    :class:`~repro.obs.MetricsRegistry` (or let the recorder create one)
+    and observe every measurement under a named series::
+
+        recorder = Recorder()
+        recorder.observe("e4_request_seconds", m.simulated_seconds,
+                         placement="enclave")
+        recorder.summary("e4_request_seconds", placement="enclave")
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def _histogram(self, name: str, labelnames: Sequence[str]) -> Histogram:
+        if name in self.registry:
+            return self.registry.get(name)
+        return self.registry.histogram(
+            name, f"benchmark samples for {name}",
+            labelnames=tuple(labelnames),
+        )
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record one sample under ``name`` (labels create the series on
+        first use; later calls must use the same label names)."""
+        histogram = self._histogram(name, sorted(labels))
+        histogram.labels(**labels).observe(value)
+
+    def summary(self, name: str, **labels: str) -> dict:
+        """The histogram child's summary dict (count/sum/p50/p90/p99)."""
+        return self.registry.get(name).labels(**labels).summary()
 
 
 class Table:

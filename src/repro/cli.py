@@ -5,6 +5,7 @@ Examples::
     python -m repro demo --vnfs 2 --tpm
     python -m repro attest --tamper /usr/bin/dockerd
     python -m repro enroll --vnfs 3 --csr
+    python -m repro metrics --vnfs 2
     python -m repro experiments
 """
 
@@ -61,6 +62,15 @@ def _build_parser() -> argparse.ArgumentParser:
     enroll.add_argument("--csr", action="store_true",
                         help="use the CSR variant (keys generated inside "
                              "the enclave)")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the workflow with telemetry enabled and dump the "
+             "/metrics scrape text")
+    _common_flags(metrics)
+    metrics.add_argument("--traces", action="store_true",
+                         help="print the trace JSON instead of the "
+                              "Prometheus scrape text")
 
     sub.add_parser("experiments",
                    help="list the experiment index (see EXPERIMENTS.md)")
@@ -153,6 +163,19 @@ def _cmd_enroll(args, out) -> int:
     return 0
 
 
+def _cmd_metrics(args, out) -> int:
+    deployment = _build_deployment(args)
+    deployment.enable_telemetry()
+    deployment.run_workflow()
+    if args.traces:
+        out.write(deployment.telemetry.tracer.export_json(indent=2))
+        out.write("\n")
+    else:
+        out.write(deployment.scrape_metrics())
+    deployment.disable_telemetry()
+    return 0
+
+
 def _cmd_experiments(args, out) -> int:
     for exp_id, title, path in EXPERIMENTS:
         out.write(f"{exp_id}  {title:45s} {path}\n")
@@ -168,6 +191,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "demo": _cmd_demo,
         "attest": _cmd_attest,
         "enroll": _cmd_enroll,
+        "metrics": _cmd_metrics,
         "experiments": _cmd_experiments,
     }
     try:

@@ -13,6 +13,7 @@ experiment E1 reports.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -47,6 +48,9 @@ class EnrollmentSession:
         vnf_name: the VNF to enrol.
         controller_address: where the enrolled VNF should connect.
         sim_now: simulated-time source for timings.
+        telemetry: optional :class:`repro.obs.Telemetry`; when set, each
+            step opens a span and lands in the
+            ``vnf_sgx_workflow_step_seconds{step=...}`` histogram.
     """
 
     vm: VerificationManager
@@ -55,23 +59,30 @@ class EnrollmentSession:
     vnf_name: str
     controller_address: str
     sim_now: Callable[[], float] = lambda: 0.0
+    telemetry: Optional[object] = None
     state: str = STATE_INIT
     timings: List[StepTiming] = field(default_factory=list)
     certificate_serial: Optional[int] = None
 
     def _timed(self, step: str, fn: Callable[[], object]) -> object:
+        tel = self.telemetry
         sim_start = self.sim_now()
         wall_start = time.perf_counter()
         try:
-            result = fn()
+            with (tel.span(step, vnf=self.vnf_name) if tel is not None
+                  else nullcontext()):
+                result = fn()
         except Exception:
             self.state = STATE_FAILED
             raise
+        simulated = self.sim_now() - sim_start
         self.timings.append(StepTiming(
             step=step,
-            simulated_seconds=self.sim_now() - sim_start,
+            simulated_seconds=simulated,
             wall_seconds=time.perf_counter() - wall_start,
         ))
+        if tel is not None:
+            tel.workflow_step_seconds.labels(step=step).observe(simulated)
         return result
 
     # ----------------------------------------------------------- the steps

@@ -34,17 +34,25 @@ class AuditEvent:
 
 
 class AuditLog:
-    """Append-only event store with simple querying."""
+    """Append-only event store with simple querying.
+
+    An optional ``observer`` callable is invoked with every recorded
+    event; the telemetry layer uses it to keep the
+    ``vnf_sgx_audit_events_total`` counter in lock-step with the log.
+    """
 
     def __init__(self, now: Callable[[], float] = lambda: 0.0) -> None:
         self._now = now
         self._events: List[AuditEvent] = []
+        self.observer: Optional[Callable[[AuditEvent], None]] = None
 
     def record(self, kind: str, subject: str, details: str = "") -> AuditEvent:
         """Append an event stamped with the current simulated time."""
         event = AuditEvent(kind=kind, subject=subject,
                            timestamp=self._now(), details=details)
         self._events.append(event)
+        if self.observer is not None:
+            self.observer(event)
         return event
 
     def events(self, kind: Optional[str] = None,

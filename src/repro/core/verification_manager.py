@@ -19,6 +19,7 @@ Responsibilities implemented here, keyed to Figure 1:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional
 
 from repro.core import events as ev
@@ -86,11 +87,28 @@ class VerificationManager:
             DistinguishedName(ca_name, "RISE"), now=int(now()), rng=self._rng
         )
         self.audit = ev.AuditLog(now=now)
+        self._telemetry = None  # set by instrument()
         self._hosts: Dict[str, HostTrustRecord] = {}
         self._aiks: Dict[str, EcPublicKey] = {}
         self._issued: Dict[str, Certificate] = {}  # vnf name -> current cert
         self._vnf_host: Dict[str, str] = {}        # vnf name -> host name
         self._crl_subscribers: List[object] = []   # TlsConfigs to refresh
+
+    # ----------------------------------------------------------- telemetry
+
+    def instrument(self, telemetry) -> None:
+        """Attach a :class:`repro.obs.Telemetry`: attestation, IAS and
+        provisioning paths gain histograms/spans, and every audit event is
+        mirrored into ``vnf_sgx_audit_events_total{kind=...}``.
+
+        Pass ``None`` to detach.  With no telemetry attached every hook
+        reduces to one ``is None`` check — the disabled path costs nothing
+        and charges nothing to the virtual clock either way.
+        """
+        self._telemetry = telemetry
+        self.audit.observer = (
+            telemetry.observe_audit if telemetry is not None else None
+        )
 
     # --------------------------------------------------------------- trust
 
@@ -121,6 +139,23 @@ class VerificationManager:
                 in the result (and recorded), not raised, so callers can
                 inspect them.
         """
+        tel = self._telemetry
+        if tel is None:
+            return self._attest_host(agent, host_name)
+        start = tel.now()
+        outcome = "error"
+        try:
+            with tel.span("host-attestation", host=host_name):
+                result = self._attest_host(agent, host_name)
+            outcome = "trusted" if result.trustworthy else "rejected"
+            return result
+        finally:
+            tel.host_attestation_seconds.labels(result=outcome).observe(
+                tel.now() - start
+            )
+
+    def _attest_host(self, agent: HostAgentClient,
+                     host_name: str) -> AppraisalResult:
         nonce = self._rng.random_bytes(16)
         evidence = agent.attest_host(nonce, self.policy.basename)
         self._verify_quote_with_ias(evidence.quote, nonce, host_name)
@@ -170,6 +205,16 @@ class VerificationManager:
         The host must have passed appraisal first ("the protocol continues
         only if the host is considered trustworthy").
         """
+        tel = self._telemetry
+        if tel is None:
+            return self._attest_vnf(agent, host_name, vnf_name)
+        with tel.span("enclave-attestation", vnf=vnf_name, host=host_name), \
+                tel.time(tel.vnf_attestation_seconds.labels(
+                    variant="delivery")):
+            return self._attest_vnf(agent, host_name, vnf_name)
+
+    def _attest_vnf(self, agent: HostAgentClient, host_name: str,
+                    vnf_name: str) -> bytes:
         if not self.host_trusted(host_name):
             raise AttestationFailed(
                 f"refusing to attest VNF {vnf_name}: host {host_name} is "
@@ -203,16 +248,35 @@ class VerificationManager:
         Returns the issued client certificate.  The private key is
         generated here, delivered encrypted, and never stored by the VM.
         """
+        tel = self._telemetry
+        if tel is None:
+            return self._enroll_vnf(agent, host_name, vnf_name,
+                                    controller_address, server_anchors)
+        with tel.span("credential-provisioning", vnf=vnf_name,
+                      variant="delivery"), \
+                tel.time(tel.provisioning_seconds.labels(variant="delivery")):
+            certificate = self._enroll_vnf(agent, host_name, vnf_name,
+                                           controller_address, server_anchors)
+        tel.credentials_issued.labels(variant="delivery").inc()
+        tel.enrolled_vnfs.set(len(self._issued))
+        return certificate
+
+    def _enroll_vnf(self, agent: HostAgentClient, host_name: str,
+                    vnf_name: str, controller_address: str,
+                    server_anchors: Optional[Truststore] = None
+                    ) -> Certificate:
         delivery_public = self.attest_vnf(agent, host_name, vnf_name)
 
-        client_key = generate_keypair(self._rng)
-        certificate = self.ca.issue(
-            subject=DistinguishedName(vnf_name, "vnf"),
-            public_key_bytes=client_key.public.to_bytes(),
-            now=int(self._now()),
-            validity=self.policy.credential_validity,
-            key_usage=(KEY_USAGE_CLIENT_AUTH,),
-        )
+        with (self._telemetry.span("credential-issuance", vnf=vnf_name)
+              if self._telemetry is not None else nullcontext()):
+            client_key = generate_keypair(self._rng)
+            certificate = self.ca.issue(
+                subject=DistinguishedName(vnf_name, "vnf"),
+                public_key_bytes=client_key.public.to_bytes(),
+                now=int(self._now()),
+                validity=self.policy.credential_validity,
+                key_usage=(KEY_USAGE_CLIENT_AUTH,),
+            )
         self.audit.record(ev.EVENT_CREDENTIAL_ISSUED, vnf_name,
                           f"serial {certificate.serial}")
         anchors = server_anchors or self.controller_truststore()
@@ -248,6 +312,25 @@ class VerificationManager:
         substitute its own CSR; the CSR's self-signature proves key
         possession on top.
         """
+        tel = self._telemetry
+        if tel is None:
+            return self._enroll_vnf_csr(agent, host_name, vnf_name,
+                                        controller_address, server_anchors)
+        with tel.span("credential-provisioning", vnf=vnf_name,
+                      variant="csr"), \
+                tel.time(tel.provisioning_seconds.labels(variant="csr")):
+            certificate = self._enroll_vnf_csr(
+                agent, host_name, vnf_name, controller_address,
+                server_anchors,
+            )
+        tel.credentials_issued.labels(variant="csr").inc()
+        tel.enrolled_vnfs.set(len(self._issued))
+        return certificate
+
+    def _enroll_vnf_csr(self, agent: HostAgentClient, host_name: str,
+                        vnf_name: str, controller_address: str,
+                        server_anchors: Optional[Truststore] = None
+                        ) -> Certificate:
         from repro.pki.csr import CertificateSigningRequest
 
         if not self.host_trusted(host_name):
@@ -368,7 +451,15 @@ class VerificationManager:
 
     def _verify_quote_with_ias(self, quote: Quote, nonce: bytes,
                                subject: str) -> None:
-        avr = self._ias.verify_quote(quote.to_bytes(), nonce=nonce.hex())
+        tel = self._telemetry
+        if tel is None:
+            avr = self._ias.verify_quote(quote.to_bytes(), nonce=nonce.hex())
+        else:
+            with tel.span("ias-verification", subject=subject) as span, \
+                    tel.time(tel.ias_verification_seconds.labels()):
+                avr = self._ias.verify_quote(quote.to_bytes(),
+                                             nonce=nonce.hex())
+                span.set_attribute("status", avr.quote_status)
         if avr.isv_enclave_quote_body != quote.body_bytes().hex():
             raise AttestationFailed(
                 f"{subject}: AVR covers a different quote body"

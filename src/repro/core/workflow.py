@@ -15,6 +15,7 @@ keystore-vs-CA validation model, SGX cost parameters, fleet size).
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -53,6 +54,10 @@ from repro.tls import TlsConfig
 CONTROLLER_HOST = "controller"
 IAS_ADDRESS = Address("ias.intel.example", 443)
 MODE_PORTS = {MODE_HTTP: 8080, MODE_HTTPS: 8443, MODE_TRUSTED: 9443}
+
+#: Where the Verification Manager serves ``/metrics`` and ``/traces``
+#: once telemetry is enabled.
+TELEMETRY_ADDRESS = Address("verification-manager", 9100)
 
 VALIDATION_CA = "ca"
 VALIDATION_KEYSTORE = "keystore"
@@ -193,6 +198,10 @@ class Deployment:
                 self.network, agent.address
             )
 
+        # Telemetry is opt-in; see enable_telemetry().
+        self.telemetry = None
+        self.telemetry_endpoint = None
+
         # Single-host compatibility aliases (the common configuration).
         self.host = self.hosts[0]
         self.attestation_enclave = self.attestation_enclaves[self.host.name]
@@ -221,6 +230,88 @@ class Deployment:
             self.credential_enclaves[vnf_name] = enclave
             self.vnf_names.append(vnf_name)
             self.vnf_host[vnf_name] = host
+
+    # ------------------------------------------------------------ telemetry
+
+    def enable_telemetry(self, registry=None, serve: bool = True,
+                         address: Address = TELEMETRY_ADDRESS):
+        """Wire the observability subsystem through the whole deployment.
+
+        Creates a :class:`repro.obs.Telemetry` on this deployment's
+        virtual clock, attaches it to the Verification Manager (and its
+        audit log), the IAS service, every northbound endpoint, every
+        host's transition accountant, and the process-wide TLS client
+        hook; then (``serve=True``) mounts ``GET /metrics`` and ``GET
+        /traces`` at ``address`` on the simulated network.
+
+        Observation never advances the virtual clock, so enabling
+        telemetry does not change workflow timings; only an actual scrape
+        charges network time, like any other traffic.
+
+        Returns the :class:`~repro.obs.Telemetry` (idempotent: repeated
+        calls return the existing one).
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        from repro.obs import MetricsRegistry, Telemetry, TelemetryEndpoint
+        from repro.tls import client as tls_client
+
+        # A deployment gets its own registry by default so two deployments
+        # in one process (e.g. parallel experiments) never cross-count;
+        # pass repro.obs.default_registry() to share the process-wide one.
+        telemetry = Telemetry(
+            registry=registry if registry is not None else MetricsRegistry(),
+            now=self.clock.now,
+        )
+        self.vm.instrument(telemetry)
+        self.ias.instrument(telemetry)
+        for endpoint in self.endpoints.values():
+            endpoint.instrument(telemetry)
+        for host in self.hosts:
+            host.platform.accountant.instrument(telemetry,
+                                                platform=host.name)
+        tls_client.instrument(telemetry)
+        if serve:
+            self.telemetry_endpoint = TelemetryEndpoint(
+                telemetry, self.network, address
+            )
+        self.telemetry = telemetry
+        return telemetry
+
+    def disable_telemetry(self) -> None:
+        """Detach every telemetry hook and stop serving ``/metrics``."""
+        if self.telemetry is None:
+            return
+        from repro.tls import client as tls_client
+
+        self.vm.instrument(None)
+        self.ias.instrument(None)
+        for endpoint in self.endpoints.values():
+            endpoint.instrument(None)
+        for host in self.hosts:
+            host.platform.accountant.instrument(None)
+        tls_client.instrument(None)
+        if self.telemetry_endpoint is not None:
+            self.telemetry_endpoint.close()
+            self.telemetry_endpoint = None
+        self.telemetry = None
+
+    def scrape_metrics(self) -> str:
+        """``GET /metrics`` over the simulated network (telemetry must be
+        enabled with ``serve=True``)."""
+        from repro.obs import scrape_text
+
+        if self.telemetry_endpoint is None:
+            raise VnfSgxError("telemetry endpoint is not serving")
+        return scrape_text(self.network, self.telemetry_endpoint.address)
+
+    def scrape_traces(self) -> list:
+        """``GET /traces`` over the simulated network, parsed from JSON."""
+        from repro.obs import scrape_traces
+
+        if self.telemetry_endpoint is None:
+            raise VnfSgxError("telemetry endpoint is not serving")
+        return scrape_traces(self.network, self.telemetry_endpoint.address)
 
     # ------------------------------------------------------------ accessors
 
@@ -253,47 +344,60 @@ class Deployment:
             vnf_name=vnf_name,
             controller_address=str(self.controller_address(MODE_TRUSTED)),
             sim_now=self.clock.now,
+            telemetry=self.telemetry,
         )
-        session.attest_host()
-        session.provision()
-        if self.client_validation == VALIDATION_KEYSTORE:
-            # Stock Floodlight: each new credential needs a keystore entry
-            # before the first connection; in CA mode this update simply
-            # never happens (the point of experiment E3).
-            self.keystore.add_trusted(
-                vnf_name, self.vm.issued_certificate(vnf_name)
-            )
-        session.connect(self.enclave_client(vnf_name))
-        return session
-
-    def run_workflow(self) -> WorkflowTrace:
-        """Execute the full Figure 1 workflow for every VNF."""
-        trace = WorkflowTrace()
-        sim_start = self.clock.now()
-        wall_start = time.perf_counter()
-        self.clock.reset_charges()
-        for vnf_name in self.vnf_names:
-            # Keystore mode must enrol before first connect; pre-add the
-            # certificate right after provisioning by splitting the steps.
-            host = self.vnf_host[vnf_name]
-            session = EnrollmentSession(
-                vm=self.vm,
-                agent=self.agent_clients[host.name],
-                host_name=host.name,
-                vnf_name=vnf_name,
-                controller_address=str(
-                    self.controller_address(MODE_TRUSTED)
-                ),
-                sim_now=self.clock.now,
-            )
+        with (self.telemetry.span("enrollment", vnf=vnf_name,
+                                  host=host.name)
+              if self.telemetry is not None else nullcontext()):
             session.attest_host()
             session.provision()
             if self.client_validation == VALIDATION_KEYSTORE:
+                # Stock Floodlight: each new credential needs a keystore
+                # entry before the first connection; in CA mode this update
+                # simply never happens (the point of experiment E3).
                 self.keystore.add_trusted(
                     vnf_name, self.vm.issued_certificate(vnf_name)
                 )
             session.connect(self.enclave_client(vnf_name))
-            trace.per_vnf[vnf_name] = list(session.timings)
+        return session
+
+    def run_workflow(self) -> WorkflowTrace:
+        """Execute the full Figure 1 workflow for every VNF."""
+        tel = self.telemetry
+        trace = WorkflowTrace()
+        sim_start = self.clock.now()
+        wall_start = time.perf_counter()
+        self.clock.reset_charges()
+        with (tel.span("figure1-workflow", vnfs=len(self.vnf_names))
+              if tel is not None else nullcontext()):
+            for vnf_name in self.vnf_names:
+                # Keystore mode must enrol before first connect; pre-add
+                # the certificate right after provisioning by splitting
+                # the steps.
+                host = self.vnf_host[vnf_name]
+                session = EnrollmentSession(
+                    vm=self.vm,
+                    agent=self.agent_clients[host.name],
+                    host_name=host.name,
+                    vnf_name=vnf_name,
+                    controller_address=str(
+                        self.controller_address(MODE_TRUSTED)
+                    ),
+                    sim_now=self.clock.now,
+                    telemetry=tel,
+                )
+                with (tel.span("enrollment", vnf=vnf_name, host=host.name)
+                      if tel is not None else nullcontext()):
+                    session.attest_host()
+                    session.provision()
+                    if self.client_validation == VALIDATION_KEYSTORE:
+                        self.keystore.add_trusted(
+                            vnf_name, self.vm.issued_certificate(vnf_name)
+                        )
+                    session.connect(self.enclave_client(vnf_name))
+                trace.per_vnf[vnf_name] = list(session.timings)
+        if tel is not None:
+            tel.workflows.inc()
         trace.simulated_seconds = self.clock.now() - sim_start
         trace.wall_seconds = time.perf_counter() - wall_start
         trace.clock_charges = self.clock.charges()

@@ -235,3 +235,11 @@ class ProvisioningError(VnfSgxError):
 
 class RevocationError(VnfSgxError):
     """Credential or platform revocation failed."""
+
+
+# --------------------------------------------------------------------------
+# Observability
+
+
+class ObservabilityError(ReproError):
+    """Telemetry misuse: bad metric names, label mismatches, span errors."""

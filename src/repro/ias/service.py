@@ -56,6 +56,12 @@ class IasService:
         self._platforms: Dict[bytes, str] = {}  # member id -> platform name
         self._report_counter = 0
         self.quotes_verified = 0
+        self._telemetry = None  # set by instrument()
+
+    def instrument(self, telemetry) -> None:
+        """Attach telemetry: every verdict increments
+        ``vnf_sgx_ias_verdicts_total{status=...}``.  ``None`` detaches."""
+        self._telemetry = telemetry
 
     # --------------------------------------------------------- provisioning
 
@@ -115,6 +121,8 @@ class IasService:
         self.quotes_verified += 1
         quote = Quote.from_bytes(quote_bytes)
         status = self._status_for(quote)
+        if self._telemetry is not None:
+            self._telemetry.ias_verdicts.labels(status=status).inc()
         self._report_counter += 1
         return sign_report(
             self._report_key,

@@ -1,0 +1,196 @@
+"""The deployment's instrument panel.
+
+One :class:`Telemetry` object bundles a :class:`~repro.obs.registry.
+MetricsRegistry`, a :class:`~repro.obs.tracing.Tracer` and the simulated
+time source, and pre-registers every metric the instrumented hot paths
+emit.  Components receive it through their ``instrument(telemetry)`` hooks;
+when no hook is installed (``telemetry is None`` everywhere) the
+instrumented code paths reduce to a single attribute check, so telemetry is
+strictly opt-in and free when disabled.
+
+Metric naming follows the Prometheus conventions: ``vnf_sgx_`` prefix,
+``_total`` suffix for counters, ``_seconds`` for time histograms, labels
+for bounded dimensions only (step names, verdicts, security modes — never
+per-VNF identifiers on high-cardinality paths).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.tracing import Span, Tracer
+
+# ------------------------------------------------------------- metric names
+
+M_AUDIT_EVENTS = "vnf_sgx_audit_events_total"
+M_HOST_ATTESTATION_SECONDS = "vnf_sgx_host_attestation_seconds"
+M_VNF_ATTESTATION_SECONDS = "vnf_sgx_vnf_attestation_seconds"
+M_IAS_VERIFICATION_SECONDS = "vnf_sgx_ias_verification_seconds"
+M_IAS_VERDICTS = "vnf_sgx_ias_verdicts_total"
+M_CREDENTIALS_ISSUED = "vnf_sgx_credentials_issued_total"
+M_PROVISIONING_SECONDS = "vnf_sgx_provisioning_seconds"
+M_TLS_HANDSHAKE_SECONDS = "vnf_sgx_tls_handshake_seconds"
+M_NORTHBOUND_REQUESTS = "vnf_sgx_northbound_requests_total"
+M_ECALLS = "vnf_sgx_enclave_ecalls_total"
+M_OCALLS = "vnf_sgx_enclave_ocalls_total"
+M_BOUNDARY_BYTES = "vnf_sgx_enclave_boundary_bytes_total"
+M_WORKFLOW_STEP_SECONDS = "vnf_sgx_workflow_step_seconds"
+M_WORKFLOWS = "vnf_sgx_workflows_total"
+M_ENROLLED_VNFS = "vnf_sgx_enrolled_vnfs"
+
+
+class Telemetry:
+    """Registry + tracer + clock, with the standard instruments created.
+
+    Args:
+        registry: metrics registry (defaults to the process-wide one).
+        now: simulated-time source; pass ``deployment.clock.now``.
+        tracer: span tracer (created on ``now`` if not supplied).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 now: Callable[[], float] = lambda: 0.0,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.now = now
+        self.tracer = tracer or Tracer(now=now)
+        r = self.registry
+
+        self.audit_events = r.counter(
+            M_AUDIT_EVENTS,
+            "Verification Manager audit-log events by kind",
+            labelnames=("kind",),
+        )
+        self.host_attestation_seconds = r.histogram(
+            M_HOST_ATTESTATION_SECONDS,
+            "Simulated time for host attestation + appraisal (steps 1-2)",
+            labelnames=("result",),
+        )
+        self.vnf_attestation_seconds = r.histogram(
+            M_VNF_ATTESTATION_SECONDS,
+            "Simulated time for credential-enclave attestation (steps 3-4)",
+            labelnames=("variant",),
+        )
+        self.ias_verification_seconds = r.histogram(
+            M_IAS_VERIFICATION_SECONDS,
+            "Simulated round-trip time of one IAS quote verification",
+        )
+        self.ias_verdicts = r.counter(
+            M_IAS_VERDICTS,
+            "IAS quote verdicts by status string",
+            labelnames=("status",),
+        )
+        self.credentials_issued = r.counter(
+            M_CREDENTIALS_ISSUED,
+            "Client certificates issued, by provisioning variant",
+            labelnames=("variant",),
+        )
+        self.provisioning_seconds = r.histogram(
+            M_PROVISIONING_SECONDS,
+            "Simulated time for attest+issue+provision (steps 3-5)",
+            labelnames=("variant",),
+        )
+        self.tls_handshake_seconds = r.histogram(
+            M_TLS_HANDSHAKE_SECONDS,
+            "Simulated TLS handshake time",
+            labelnames=("role", "resumed"),
+        )
+        self.northbound_requests = r.counter(
+            M_NORTHBOUND_REQUESTS,
+            "Controller northbound REST requests",
+            labelnames=("mode", "method", "status"),
+        )
+        self.ecalls = r.counter(
+            M_ECALLS, "Enclave ECALL transitions", labelnames=("platform",),
+        )
+        self.ocalls = r.counter(
+            M_OCALLS, "Enclave OCALL transitions", labelnames=("platform",),
+        )
+        self.boundary_bytes = r.counter(
+            M_BOUNDARY_BYTES,
+            "Bytes copied across the enclave boundary",
+            labelnames=("platform",),
+        )
+        self.workflow_step_seconds = r.histogram(
+            M_WORKFLOW_STEP_SECONDS,
+            "Simulated time per Figure 1 workflow step",
+            labelnames=("step",),
+        )
+        self.workflows = r.counter(
+            M_WORKFLOWS, "Completed Figure 1 workflow runs",
+        )
+        self.enrolled_vnfs = r.gauge(
+            M_ENROLLED_VNFS, "VNFs currently holding provisioned credentials",
+        )
+
+    # -------------------------------------------------------------- spans
+
+    def span(self, name: str, **attributes):
+        """Open a traced span (context manager yielding the span)."""
+        return self.tracer.span(name, **attributes)
+
+    @contextmanager
+    def time(self, histogram_child) -> Iterator[None]:
+        """Observe the simulated duration of the ``with`` body into a
+        histogram child (observes on success *and* on exception)."""
+        start = self.now()
+        try:
+            yield
+        finally:
+            histogram_child.observe(self.now() - start)
+
+    # ------------------------------------------------------------- hooks
+
+    def observe_audit(self, event) -> None:
+        """AuditLog observer: one counter increment per recorded event."""
+        self.audit_events.labels(kind=event.kind).inc()
+
+    def observe_handshake(self, role: str, resumed: bool,
+                          seconds: float) -> None:
+        """Record one TLS handshake."""
+        self.tls_handshake_seconds.labels(
+            role=role, resumed="true" if resumed else "false"
+        ).observe(seconds)
+
+    # ------------------------------------------------------------ reading
+
+    def histogram(self, name: str) -> Histogram:
+        """A registered histogram family by name."""
+        family = self.registry.get(name)
+        if not isinstance(family, Histogram):
+            from repro.errors import ObservabilityError
+
+            raise ObservabilityError(f"{name} is a {family.kind}")
+        return family
+
+    def reset(self) -> None:
+        """Zero metrics and drop spans (registrations survive)."""
+        self.registry.reset()
+        self.tracer.reset()
+
+
+__all__ = [
+    "Telemetry",
+    "Span",
+    "M_AUDIT_EVENTS",
+    "M_HOST_ATTESTATION_SECONDS",
+    "M_VNF_ATTESTATION_SECONDS",
+    "M_IAS_VERIFICATION_SECONDS",
+    "M_IAS_VERDICTS",
+    "M_CREDENTIALS_ISSUED",
+    "M_PROVISIONING_SECONDS",
+    "M_TLS_HANDSHAKE_SECONDS",
+    "M_NORTHBOUND_REQUESTS",
+    "M_ECALLS",
+    "M_OCALLS",
+    "M_BOUNDARY_BYTES",
+    "M_WORKFLOW_STEP_SECONDS",
+    "M_WORKFLOWS",
+    "M_ENROLLED_VNFS",
+]

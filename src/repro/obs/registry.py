@@ -1,0 +1,423 @@
+"""The metrics registry: Counters, Gauges and Histograms with labels.
+
+Modeled on the Prometheus client-library data model: a *metric family* has
+a name, a help string and a fixed set of label names; each distinct
+combination of label values materialises one *child* holding the actual
+numbers.  A process-wide default registry exists for convenience
+(:func:`default_registry`) and can be swapped out wholesale for test
+isolation (:func:`reset_default_registry`).
+
+Observing a metric never touches the virtual clock — telemetry watches the
+simulation, it does not participate in it — so enabling instrumentation
+cannot change simulated timings.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+TYPE_COUNTER = "counter"
+TYPE_GAUGE = "gauge"
+TYPE_HISTOGRAM = "histogram"
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets, in (simulated) seconds.  The simulation's
+#: interesting range spans tens of microseconds (loopback round trips) to
+#: tens of milliseconds (WAN attestation), hence the low-end density.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+def _validate_labelnames(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(labelnames)
+    for name in names:
+        if not _LABEL_NAME_RE.match(name):
+            raise ObservabilityError(f"invalid label name {name!r}")
+        if name == "le":
+            raise ObservabilityError(
+                "label name 'le' is reserved for histogram buckets"
+            )
+    if len(set(names)) != len(names):
+        raise ObservabilityError(f"duplicate label names in {names!r}")
+    return names
+
+
+class MetricFamily:
+    """Common behaviour of the three metric kinds."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        if not _METRIC_NAME_RE.match(name):
+            raise ObservabilityError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = _validate_labelnames(labelnames)
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    # ----------------------------------------------------------- children
+
+    def _make_child(self):  # pragma: no cover — overridden
+        raise NotImplementedError
+
+    def labels(self, **labels: str):
+        """The child for one combination of label values (creating it on
+        first use)."""
+        if set(labels) != set(self.labelnames):
+            raise ObservabilityError(
+                f"{self.name}: got labels {sorted(labels)}, "
+                f"expected {sorted(self.labelnames)}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _unlabelled(self):
+        """The single child of a label-less family."""
+        if self.labelnames:
+            raise ObservabilityError(
+                f"{self.name} has labels {self.labelnames}; use .labels()"
+            )
+        return self.labels()
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """``(label_values, child)`` pairs in insertion order."""
+        return list(self._children.items())
+
+    def reset(self) -> None:
+        """Drop all children (counts return to zero)."""
+        self._children.clear()
+
+
+# --------------------------------------------------------------------------
+# Counter
+
+
+class CounterChild:
+    """One monotonically increasing count."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ObservabilityError("counters can only go up")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        return self._value
+
+
+class Counter(MetricFamily):
+    """A monotonically increasing metric family."""
+
+    kind = TYPE_COUNTER
+
+    def _make_child(self) -> CounterChild:
+        return CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less child."""
+        self._unlabelled().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """Value of the label-less child."""
+        return self._unlabelled().value
+
+    def total(self) -> float:
+        """Sum over every child (any labels)."""
+        return sum(child.value for _, child in self.children())
+
+
+# --------------------------------------------------------------------------
+# Gauge
+
+
+class GaugeChild:
+    """One instantaneous value."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+
+class Gauge(MetricFamily):
+    """A settable metric family."""
+
+    kind = TYPE_GAUGE
+
+    def _make_child(self) -> GaugeChild:
+        return GaugeChild()
+
+    def set(self, value: float) -> None:
+        """Set the label-less child."""
+        self._unlabelled().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less child."""
+        self._unlabelled().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the label-less child."""
+        self._unlabelled().dec(amount)
+
+    @property
+    def value(self) -> float:
+        """Value of the label-less child."""
+        return self._unlabelled().value
+
+
+# --------------------------------------------------------------------------
+# Histogram
+
+
+class HistogramChild:
+    """Bucketed observations with exact-percentile support.
+
+    Unlike a wire-efficient production client, the simulation keeps every
+    raw sample, so percentiles are exact (nearest-rank), not interpolated
+    from bucket boundaries.
+    """
+
+    __slots__ = ("_buckets", "_bucket_counts", "_sum", "_samples", "_sorted")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self._buckets = buckets
+        self._bucket_counts = [0] * (len(buckets) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._sum += value
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+        for index, bound in enumerate(self._buckets):
+            if value <= bound:
+                self._bucket_counts[index] += 1
+                return
+        self._bucket_counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self._samples)
+
+    @property
+    def sum(self) -> float:
+        """Sum of observations."""
+        return self._sum
+
+    @property
+    def buckets(self) -> Tuple[float, ...]:
+        """Upper bounds (exclusive of the implicit ``+Inf``)."""
+        return self._buckets
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self._buckets, self._bucket_counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, running + self._bucket_counts[-1]))
+        return out
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile; ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ObservabilityError(f"percentile {q} out of [0, 100]")
+        if not self._samples:
+            raise ObservabilityError("percentile of an empty histogram")
+        self._ensure_sorted()
+        rank = max(1, math.ceil(q / 100.0 * len(self._samples)))
+        return self._samples[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        """The derived summary: p50/p90/p99 plus count and sum."""
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class Histogram(MetricFamily):
+    """A distribution metric family with configurable buckets."""
+
+    kind = TYPE_HISTOGRAM
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Optional[Iterable[float]] = None) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(buckets)) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds:
+            raise ObservabilityError("histogram needs at least one bucket")
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ObservabilityError("histogram buckets must be increasing")
+        if any(math.isinf(b) for b in bounds):
+            raise ObservabilityError("+Inf bucket is implicit; do not pass it")
+        self.buckets = bounds
+
+    def _make_child(self) -> HistogramChild:
+        return HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Observe into the label-less child."""
+        self._unlabelled().observe(value)
+
+    @property
+    def count(self) -> int:
+        """Observation count of the label-less child."""
+        return self._unlabelled().count
+
+    def percentile(self, q: float) -> float:
+        """Percentile of the label-less child."""
+        return self._unlabelled().percentile(q)
+
+    def total_count(self) -> int:
+        """Observations summed over every child."""
+        return sum(child.count for _, child in self.children())
+
+
+# --------------------------------------------------------------------------
+# Registry
+
+
+class MetricsRegistry:
+    """Creates, deduplicates and collects metric families."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    # ---------------------------------------------------------- factories
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: Sequence[str], **kwargs) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ObservabilityError(
+                    f"{name} already registered as a {existing.kind}"
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise ObservabilityError(
+                    f"{name} already registered with labels "
+                    f"{existing.labelnames}, not {tuple(labelnames)}"
+                )
+            return existing
+        family = cls(name, help, labelnames, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        """Get or create a counter family."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        """Get or create a gauge family."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Optional[Iterable[float]] = None) -> Histogram:
+        """Get or create a histogram family."""
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    # --------------------------------------------------------- collection
+
+    def get(self, name: str) -> MetricFamily:
+        """A registered family by name.
+
+        Raises:
+            ObservabilityError: unknown metric.
+        """
+        try:
+            return self._families[name]
+        except KeyError as exc:
+            raise ObservabilityError(f"no metric named {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def collect(self) -> List[MetricFamily]:
+        """All families, sorted by name (exposition order)."""
+        return sorted(self._families.values(), key=lambda f: f.name)
+
+    def reset(self) -> None:
+        """Zero every family (registrations survive, children are dropped)."""
+        for family in self._families.values():
+            family.reset()
+
+    def unregister(self, name: str) -> None:
+        """Remove a family entirely."""
+        self._families.pop(name, None)
+
+
+# --------------------------------------------------------------------------
+# Process-wide default registry
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _default_registry
+
+
+def reset_default_registry() -> MetricsRegistry:
+    """Replace the process-wide registry with a fresh one (for tests)."""
+    global _default_registry
+    _default_registry = MetricsRegistry()
+    return _default_registry

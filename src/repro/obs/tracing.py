@@ -1,0 +1,208 @@
+"""Deterministic span tracing on the virtual clock.
+
+A :class:`Tracer` timestamps spans from a caller-supplied ``now`` callable
+— in a deployment that is :meth:`repro.net.clock.VirtualClock.now` — so two
+runs with the same seed produce byte-identical trace exports on any
+machine.  Span and trace identifiers are sequence numbers, not random, for
+the same reason.
+
+Because the simulated network delivers synchronously, the whole workflow
+runs on one logical thread and parent/child nesting falls out of a simple
+span stack: whatever span is open when a new one starts becomes its parent.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ObservabilityError
+
+
+class Span:
+    """One timed, attributed region of the workflow."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start", "end",
+                 "attributes", "children")
+
+    def __init__(self, name: str, trace_id: str, span_id: str,
+                 parent_id: Optional[str], start: float) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, Any] = {}
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds between start and end (0 while open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def finished(self) -> bool:
+        """True once the span has ended."""
+        return self.end is not None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one attribute."""
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (children nested)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search of this subtree by span name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"dur={self.duration:.6f})")
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self._span.attributes.setdefault(
+                "error", f"{exc_type.__name__}: {exc}"
+            )
+        self._tracer.end_span(self._span)
+        # Never swallow the exception.
+
+
+class Tracer:
+    """Builds span trees from nested instrumented regions.
+
+    Args:
+        now: time source (pass the deployment's ``clock.now`` for
+            deterministic traces).
+    """
+
+    def __init__(self, now: Callable[[], float] = lambda: 0.0) -> None:
+        self._now = now
+        self._stack: List[Span] = []
+        self._roots: List[Span] = []
+        self._span_counter = 0
+        self._trace_counter = 0
+
+    # ------------------------------------------------------------- spans
+
+    def start_span(self, name: str, **attributes: Any) -> Span:
+        """Open a span; the innermost open span becomes its parent."""
+        self._span_counter += 1
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            self._trace_counter += 1
+            trace_id = f"trace-{self._trace_counter:04d}"
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(name, trace_id, f"span-{self._span_counter:04d}",
+                    parent_id, self._now())
+        span.attributes.update(attributes)
+        if parent is None:
+            self._roots.append(span)
+        else:
+            parent.children.append(span)
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        """Close a span (must be the innermost open one)."""
+        if not self._stack or self._stack[-1] is not span:
+            raise ObservabilityError(
+                f"span {span.name!r} is not the innermost open span"
+            )
+        span.end = self._now()
+        self._stack.pop()
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """``with tracer.span("name", key=value) as span: ...``"""
+        return _SpanContext(self, self.start_span(name, **attributes))
+
+    # ------------------------------------------------------------ export
+
+    def roots(self) -> List[Span]:
+        """Completed (and still-open) root spans in start order."""
+        return list(self._roots)
+
+    def open_depth(self) -> int:
+        """How many spans are currently open (0 when quiescent)."""
+        return len(self._stack)
+
+    def export(self) -> List[Dict[str, Any]]:
+        """The trace forest as JSON-ready dicts (children nested)."""
+        return [root.to_dict() for root in self._roots]
+
+    def export_flat(self) -> List[Dict[str, Any]]:
+        """Every span as a flat list (children elided), in span-id order."""
+        out: List[Dict[str, Any]] = []
+
+        def visit(span: Span) -> None:
+            record = span.to_dict()
+            record.pop("children")
+            out.append(record)
+            for child in span.children:
+                visit(child)
+
+        for root in self._roots:
+            visit(root)
+        out.sort(key=lambda record: record["span_id"])
+        return out
+
+    def export_json(self, indent: Optional[int] = None) -> str:
+        """The trace forest serialized as JSON."""
+        return json.dumps(self.export(), indent=indent, sort_keys=True)
+
+    def find(self, name: str) -> Optional[Span]:
+        """First span with ``name`` anywhere in the forest."""
+        for root in self._roots:
+            hit = root.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def reset(self) -> None:
+        """Drop all recorded spans.
+
+        Raises:
+            ObservabilityError: if spans are still open.
+        """
+        if self._stack:
+            raise ObservabilityError(
+                f"cannot reset with {len(self._stack)} span(s) open"
+            )
+        self._roots.clear()
+        self._span_counter = 0
+        self._trace_counter = 0

@@ -90,6 +90,7 @@ class NorthboundEndpoint:
         self.mode = mode
         self.requests_served = 0
         self.unauthenticated_writes = 0
+        self._telemetry = None  # set by instrument()
         self._tls: Optional[TlsServer] = None
         if mode == MODE_TRUSTED:
             tls_config.require_client_auth = True
@@ -120,10 +121,28 @@ class NorthboundEndpoint:
 
         self._tls.accept(channel, on_data=on_tls_data)
 
+    # ----------------------------------------------------------- telemetry
+
+    def instrument(self, telemetry) -> None:
+        """Attach telemetry: every dispatched request increments
+        ``vnf_sgx_northbound_requests_total{mode,method,status}``.
+        ``None`` detaches."""
+        self._telemetry = telemetry
+
     # ------------------------------------------------------------- routing
 
     def _dispatch(self, request: HttpRequest,
                   auth: AuthContext) -> HttpResponse:
+        response = self._route(request, auth)
+        if self._telemetry is not None:
+            self._telemetry.northbound_requests.labels(
+                mode=self.mode, method=request.method.upper(),
+                status=str(response.status),
+            ).inc()
+        return response
+
+    def _route(self, request: HttpRequest,
+               auth: AuthContext) -> HttpResponse:
         self.requests_served += 1
         key = (request.method.upper(), request.path)
         handlers: Dict[Tuple[str, str], Callable] = {

@@ -57,11 +57,28 @@ class TransitionAccountant:
         self.ecalls = 0
         self.ocalls = 0
         self.bytes_crossed = 0
+        # Telemetry children, bound by instrument(); None = disabled.
+        self._ecall_metric = None
+        self._ocall_metric = None
+        self._bytes_metric = None
+
+    def instrument(self, telemetry, platform: str = "") -> None:
+        """Mirror transition counts into telemetry counters, labelled with
+        the platform name.  Pass ``telemetry=None`` to detach."""
+        if telemetry is None:
+            self._ecall_metric = self._ocall_metric = self._bytes_metric = None
+            return
+        self._ecall_metric = telemetry.ecalls.labels(platform=platform)
+        self._ocall_metric = telemetry.ocalls.labels(platform=platform)
+        self._bytes_metric = telemetry.boundary_bytes.labels(platform=platform)
 
     def charge_ecall(self, payload_bytes: int) -> None:
         """Record one ECALL round trip."""
         self.ecalls += 1
         self.bytes_crossed += payload_bytes
+        if self._ecall_metric is not None:
+            self._ecall_metric.inc()
+            self._bytes_metric.inc(payload_bytes)
         if self._clock is not None:
             self._clock.advance(self.model.ecall_cost(payload_bytes), ACCOUNT)
 
@@ -69,6 +86,9 @@ class TransitionAccountant:
         """Record one OCALL round trip."""
         self.ocalls += 1
         self.bytes_crossed += payload_bytes
+        if self._ocall_metric is not None:
+            self._ocall_metric.inc()
+            self._bytes_metric.inc(payload_bytes)
         if self._clock is not None:
             self._clock.advance(self.model.ocall_cost(payload_bytes), ACCOUNT)
 

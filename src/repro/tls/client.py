@@ -8,7 +8,8 @@ credential enclave runs exactly this client *inside* the enclave boundary.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from contextlib import nullcontext
+from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.constant_time import ct_bytes_eq
 from repro.crypto.ecdh import ecdh_shared_secret
@@ -42,6 +43,23 @@ from repro.tls.session import (
 )
 
 
+# Process-wide telemetry hook (see repro.obs).  Installed by
+# Deployment.enable_telemetry() so that *every* client handshake — including
+# the ones running inside credential enclaves, whose TlsClient instances
+# are created in enclave-private memory and are unreachable from outside —
+# lands in the same histogram.  None (the default) disables instrumentation
+# at the cost of a single attribute load per handshake.
+_TELEMETRY = None
+
+
+def instrument(telemetry) -> None:
+    """Install (or with ``None`` remove) the module-wide handshake
+    telemetry.  The object must offer ``now()``, ``span()`` and
+    ``observe_handshake()`` — i.e. :class:`repro.obs.Telemetry`."""
+    global _TELEMETRY
+    _TELEMETRY = telemetry
+
+
 class TlsClient:
     """Opens TLS connections over simulated-network channels.
 
@@ -62,6 +80,21 @@ class TlsClient:
     def connect(self, channel: Channel, server_name: str = "") -> TlsConnection:
         """Run the handshake on ``channel``; returns the established
         connection.  ``server_name`` keys the client-side resumption cache."""
+        tel = _TELEMETRY
+        if tel is None:
+            return self._connect(channel, server_name, None)
+        start = tel.now()
+        with tel.span("tls-handshake", role="client",
+                      server=server_name) as span:
+            connection = self._connect(channel, server_name, tel)
+            span.set_attribute("resumed", connection.resumed)
+            span.set_attribute("suite", connection.suite_name)
+        tel.observe_handshake("client", connection.resumed,
+                              tel.now() - start)
+        return connection
+
+    def _connect(self, channel: Channel, server_name: str,
+                 tel: Optional[object]) -> TlsConnection:
         records = RecordLayer()
         buffer = hs.HandshakeBuffer()
         rng = self._config.effective_rng()
@@ -79,35 +112,40 @@ class TlsClient:
             session_id=offered_session.session_id if offered_session else b"",
             cipher_suites=offered_suites,
         )
-        channel.send(records.encode(
-            CONTENT_HANDSHAKE, buffer.append_sent(hello.encode())
-        ))
+        with (tel.span("hello-exchange") if tel is not None
+              else nullcontext()):
+            channel.send(records.encode(
+                CONTENT_HANDSHAKE, buffer.append_sent(hello.encode())
+            ))
 
-        # The server's entire flight is now buffered.
-        inbound = _InboundFeed(channel, records, buffer)
-        msg_type, server_hello = inbound.next_handshake()
-        if msg_type != HS_SERVER_HELLO:
-            raise HandshakeFailure(
-                f"expected ServerHello, got {hs.HandshakeBuffer.type_name(msg_type)}"
-            )
-        suite = lookup(server_hello.cipher_suite)
-        server_random = server_hello.random
+            # The server's entire flight is now buffered.
+            inbound = _InboundFeed(channel, records, buffer)
+            msg_type, server_hello = inbound.next_handshake()
+            if msg_type != HS_SERVER_HELLO:
+                raise HandshakeFailure(
+                    f"expected ServerHello, got "
+                    f"{hs.HandshakeBuffer.type_name(msg_type)}"
+                )
+            suite = lookup(server_hello.cipher_suite)
+            server_random = server_hello.random
 
         resumed = (
             offered_session is not None
             and server_hello.session_id == offered_session.session_id
             and len(server_hello.session_id) > 0
         )
-        if resumed:
-            connection = self._finish_abbreviated(
-                channel, records, buffer, inbound, offered_session,
-                client_random, server_random, suite,
-            )
-        else:
-            connection = self._finish_full(
-                channel, records, buffer, inbound, server_hello,
-                client_random, server_random, suite, server_name,
-            )
+        with (tel.span("key-exchange", resumed=resumed) if tel is not None
+              else nullcontext()):
+            if resumed:
+                connection = self._finish_abbreviated(
+                    channel, records, buffer, inbound, offered_session,
+                    client_random, server_random, suite,
+                )
+            else:
+                connection = self._finish_full(
+                    channel, records, buffer, inbound, server_hello,
+                    client_random, server_random, suite, server_name,
+                )
         # Hand remaining inbound processing to the connection object.
         channel.on_receive(lambda ch: connection.deliver(ch.recv_available()))
         return connection

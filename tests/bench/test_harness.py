@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.bench.harness import Measurement, Table, measure
+from repro.bench.harness import (
+    Measurement,
+    Recorder,
+    Summary,
+    Table,
+    measure,
+    summarize,
+)
 from repro.bench.workloads import (
     deployment_with_iml_size,
     fleet_deployment,
@@ -52,6 +59,51 @@ def test_measure_without_clock():
     measurement = measure(None, lambda: 7)
     assert measurement.result == 7
     assert measurement.simulated_seconds == 0.0
+
+
+def test_summarize_basic_percentiles():
+    summary = summarize([5.0, 1.0, 3.0, 2.0, 4.0])
+    assert summary == Summary(count=5, minimum=1.0, median=3.0,
+                              p90=5.0, maximum=5.0)
+
+
+def test_summarize_single_sample():
+    summary = summarize([0.7])
+    assert summary.minimum == summary.median == summary.p90 \
+        == summary.maximum == 0.7
+
+
+def test_summarize_rejects_empty():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summary_row_scaling():
+    summary = summarize([0.001, 0.002, 0.003])
+    assert summary.row(scale=1e3) == pytest.approx((1.0, 2.0, 3.0, 3.0))
+
+
+def test_recorder_streams_into_registry():
+    recorder = Recorder()
+    for value in (0.1, 0.2, 0.3, 0.4):
+        recorder.observe("e4_request_seconds", value, placement="enclave")
+    recorder.observe("e4_request_seconds", 0.05, placement="plain")
+    enclave = recorder.summary("e4_request_seconds", placement="enclave")
+    assert enclave["count"] == 4
+    assert enclave["p50"] == 0.2
+    plain = recorder.summary("e4_request_seconds", placement="plain")
+    assert plain["count"] == 1
+    # Samples landed in a real registry histogram.
+    assert recorder.registry.get("e4_request_seconds").total_count() == 5
+
+
+def test_recorder_accepts_external_registry():
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    recorder = Recorder(registry)
+    recorder.observe("probe_seconds", 1.0)
+    assert "probe_seconds" in registry
 
 
 def test_synthetic_files_distinct_and_sized():

@@ -67,6 +67,25 @@ def test_enroll_multihost():
     assert "container-host-2" in output
 
 
+def test_metrics_dumps_scrape_text():
+    code, output = run_cli("metrics", "--vnfs", "1", "--seed", "cli-metrics")
+    assert code == 0
+    assert "# TYPE vnf_sgx_workflow_step_seconds histogram" in output
+    assert 'vnf_sgx_credentials_issued_total{variant="delivery"} 1' in output
+    assert "vnf_sgx_enrolled_vnfs 1" in output
+
+
+def test_metrics_traces_mode_emits_json():
+    import json
+
+    code, output = run_cli("metrics", "--vnfs", "1", "--seed", "cli-traces",
+                           "--traces")
+    assert code == 0
+    traces = json.loads(output)
+    assert traces[0]["name"] == "figure1-workflow"
+    assert traces[0]["children"][0]["name"] == "enrollment"
+
+
 def test_experiments_listing():
     code, output = run_cli("experiments")
     assert code == 0
