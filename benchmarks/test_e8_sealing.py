@@ -14,7 +14,7 @@ from repro.core.credential_enclave import CredentialEnclave
 from repro.crypto.rng import HmacDrbg
 from repro.errors import SealingError
 from repro.sgx.enclave import EnclaveIdentity
-from repro.sgx.sealing import SealedBlob, seal, unseal
+from repro.sgx.sealing import seal, unseal
 
 PAYLOAD_SIZES = [256, 1024, 4096, 16384, 65536]
 

@@ -13,7 +13,6 @@ Run:  python examples/attest_and_enroll.py
 """
 
 from repro.core import Deployment
-from repro.core.enrollment import EnrollmentSession
 
 
 def main() -> None:

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""An outage drill: enrolling a VNF fleet through injected failures.
+
+At fleet scale, partial failure is the steady state: the Intel
+Attestation Service rate-limits and brown-outs, host agents restart
+mid-provisioning, connections drop.  This drill injects all of that with
+a deterministic :class:`repro.net.faults.FaultPlan` and shows how the
+retry/backoff layer (:class:`repro.net.retry.RetryPolicy`) and the
+workflow's partial-failure semantics keep the deployment moving:
+
+1. transient faults (IAS 503 burst, refused connect, mid-stream drop)
+   are absorbed by retries — every VNF still enrolls;
+2. a permanently dead host exhausts its retry budget — its VNFs are
+   recorded in ``WorkflowTrace.failed`` while the rest of the fleet
+   enrolls;
+3. the re-attestation monitor distinguishes that *unreachable* host
+   (kept, retried) from an *untrustworthy* one (revoked).
+
+Run:  python examples/outage_drill.py
+"""
+
+from repro.core import Deployment
+from repro.core.revocation import ReattestationMonitor
+from repro.core.workflow import IAS_ADDRESS
+from repro.net.faults import FaultPlan
+from repro.net.retry import RetryPolicy
+
+
+def main() -> None:
+    policy = RetryPolicy(max_attempts=4, base_backoff=0.05, multiplier=2.0,
+                         max_backoff=1.0, jitter=0.1)
+    deployment = Deployment(seed=b"outage-drill", vnf_count=4, host_count=2,
+                            retry_policy=policy)
+    deployment.enable_telemetry()
+
+    # ------------------------------------------------- transient faults
+    print("Drill 1: transient faults, retried")
+    plan = (FaultPlan(seed=b"drill")
+            .http_error(IAS_ADDRESS, 503, count=2)
+            .refuse_connections(deployment.agent.address, count=1)
+            .drop_after_sends(deployment.agent.address, sends=5,
+                              connections=1))
+    deployment.install_faults(plan)
+    trace = deployment.run_workflow()
+    print(f"  enrolled: {sorted(trace.per_vnf)}  failed: {dict(trace.failed)}")
+    print(f"  injected faults: {dict(plan.injected)}")
+    backoff = trace.clock_charges.get("retry-backoff", 0.0)
+    print(f"  simulated backoff charged: {backoff * 1000:.1f} ms")
+    attempts = deployment.telemetry.retry_attempts
+    for labels, child in attempts.children():
+        print(f"  retry_attempts{{operation={labels[0]!r}}} = "
+              f"{child.value:.0f}")
+
+    # -------------------------------------------- a permanently dead host
+    print("\nDrill 2: one host stays dark — partial failure, not an abort")
+    fleet = Deployment(seed=b"outage-drill-2", vnf_count=4, host_count=2,
+                       retry_policy=RetryPolicy(max_attempts=3,
+                                                base_backoff=0.05,
+                                                jitter=0.0))
+    dead = fleet.hosts[1]
+    fleet.install_faults(
+        FaultPlan().refuse_connections(fleet.agents[dead.name].address)
+    )
+    trace = fleet.run_workflow()
+    print(f"  enrolled: {sorted(trace.per_vnf)}")
+    for vnf_name, error in sorted(trace.failed.items()):
+        print(f"  failed: {vnf_name}: {error.splitlines()[0]}")
+
+    # ------------------------------------- unreachable is not untrustworthy
+    print("\nDrill 3: the monitor keeps an unreachable host's credentials")
+    monitor = ReattestationMonitor(fleet.vm, ias_service=fleet.ias)
+    for host in fleet.hosts:
+        monitor.watch(host.name, fleet.agent_clients[host.name])
+    for outcome in monitor.sweep():
+        print(f"  {outcome.host_name}: status={outcome.status} "
+              f"trustworthy={outcome.trustworthy} "
+              f"revoked={outcome.revoked_vnfs} "
+              f"streak={outcome.consecutive_unreachable}")
+
+    # The network heals: the dead host comes back and is re-attested.
+    fleet.install_faults(None)
+    print("  ...network heals...")
+    for outcome in monitor.sweep():
+        print(f"  {outcome.host_name}: status={outcome.status} "
+              f"trustworthy={outcome.trustworthy}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,19 @@ from typing import Callable, List, Optional
 
 from repro.core.host_agent import HostAgentClient
 from repro.core.verification_manager import VerificationManager
-from repro.errors import EnrollmentError
+from repro.errors import (
+    ControllerUnavailable,
+    EnrollmentError,
+    IasUnavailable,
+    NetError,
+)
+from repro.net.retry import RetryPolicy, retry_call
+
+#: Failures a step re-attempt can plausibly cure: transport faults and
+#: transient service statuses.  Appraisal/attestation verdicts are not
+#: retryable — a *rejected* host does not become trustworthy by asking
+#: again.
+STEP_RETRYABLE = (NetError, IasUnavailable, ControllerUnavailable)
 
 STATE_INIT = "init"
 STATE_HOST_ATTESTED = "host-attested"
@@ -51,6 +63,14 @@ class EnrollmentSession:
         telemetry: optional :class:`repro.obs.Telemetry`; when set, each
             step opens a span and lands in the
             ``vnf_sgx_workflow_step_seconds{step=...}`` histogram.
+        retry_policy: optional step-level :class:`RetryPolicy`; a step
+            that fails with a transient error (:data:`STEP_RETRYABLE`)
+            is re-run whole, with backoff charged to ``clock``.  The
+            layering is deliberate: client-level retries absorb single
+            lost packets, session-level retries absorb failures spanning
+            a whole step (e.g. an enclave restart mid-provisioning).
+        clock: virtual clock for retry backoff (required with a policy).
+        retry_rng: DRBG for deterministic backoff jitter.
     """
 
     vm: VerificationManager
@@ -60,9 +80,22 @@ class EnrollmentSession:
     controller_address: str
     sim_now: Callable[[], float] = lambda: 0.0
     telemetry: Optional[object] = None
+    retry_policy: Optional[RetryPolicy] = None
+    clock: Optional[object] = None
+    retry_rng: Optional[object] = None
     state: str = STATE_INIT
     timings: List[StepTiming] = field(default_factory=list)
     certificate_serial: Optional[int] = None
+
+    def _attempt(self, step: str, fn: Callable[[], object]) -> object:
+        if self.retry_policy is None:
+            return fn()
+        operation = f"enrollment:{step.split(' ')[0]}"
+        return retry_call(
+            fn, policy=self.retry_policy, clock=self.clock,
+            operation=operation, rng=self.retry_rng,
+            retryable=STEP_RETRYABLE, telemetry=self.telemetry,
+        )
 
     def _timed(self, step: str, fn: Callable[[], object]) -> object:
         tel = self.telemetry
@@ -71,7 +104,7 @@ class EnrollmentSession:
         try:
             with (tel.span(step, vnf=self.vnf_name) if tel is not None
                   else nullcontext()):
-                result = fn()
+                result = self._attempt(step, fn)
         except Exception:
             self.state = STATE_FAILED
             raise

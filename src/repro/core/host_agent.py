@@ -17,9 +17,10 @@ from typing import Dict
 from repro.core.attestation_enclave import AttestationEnclave, QuotedEvidence
 from repro.core.credential_enclave import CredentialEnclave
 from repro.core.provisioning import ProvisioningMessage
-from repro.errors import VnfSgxError
+from repro.errors import NetError, VnfSgxError
 from repro.net.address import Address
 from repro.net.framing import send_frame, try_recv_frame
+from repro.net.retry import RetryingMixin
 from repro.net.simnet import Network
 from repro.pki import der
 
@@ -109,8 +110,15 @@ class HostAgent:
             return der.encode(["error", f"{type(exc).__name__}: {exc}"])
 
 
-class HostAgentClient:
-    """The Verification Manager's stub for one host agent."""
+class HostAgentClient(RetryingMixin):
+    """The Verification Manager's stub for one host agent.
+
+    The stub keeps one persistent framed channel; a configured
+    :class:`~repro.net.retry.RetryPolicy` makes every call resilient to
+    transient transport faults (refused connects, mid-stream drops):
+    each re-attempt re-establishes the channel and re-sends the request.
+    Application-level agent errors (``VnfSgxError``) are never retried.
+    """
 
     def __init__(self, network: Network, address: Address,
                  source_host: str = "verification-manager") -> None:
@@ -119,14 +127,46 @@ class HostAgentClient:
         self._source_host = source_host
         self._channel = None
 
-    def _call(self, request: list):
-        from repro.net.framing import recv_frame
+    @property
+    def address(self) -> Address:
+        """The agent endpoint this stub talks to."""
+        return self._address
 
-        if self._channel is None or self._channel.closed:
+    def _ensure_channel(self):
+        stale = (self._channel is None or self._channel.closed
+                 or self._channel.eof)
+        if stale:
             self._channel = self._network.connect(self._source_host,
                                                   self._address)
-        send_frame(self._channel, der.encode(request))
-        response = der.decode(recv_frame(self._channel))
+        return self._channel
+
+    def _reset_channel(self) -> None:
+        if self._channel is not None and not self._channel.closed:
+            try:
+                self._channel.close()
+            except NetError:  # pragma: no cover — close must never mask
+                pass
+        self._channel = None
+
+    def _exchange(self, payload: bytes) -> bytes:
+        from repro.net.framing import recv_frame
+
+        channel = self._ensure_channel()
+        try:
+            send_frame(channel, payload)
+            return recv_frame(channel)
+        except NetError:
+            # The channel is suspect (dropped mid-stream, half-closed,
+            # out of lockstep): drop it so a retry starts clean.
+            self._reset_channel()
+            raise
+
+    def _call(self, request: list):
+        payload = der.encode(request)
+        response = der.decode(self._retrying(
+            lambda: self._exchange(payload),
+            operation="host-agent", clock=self._network.clock,
+        ))
         if response[0] != "ok":
             raise VnfSgxError(f"host agent error: {response[1]}")
         return response[1]

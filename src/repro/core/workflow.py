@@ -31,10 +31,12 @@ from repro.core.policy import DeploymentPolicy
 from repro.core.verification_manager import VerificationManager
 from repro.crypto.keys import generate_keypair
 from repro.crypto.rng import HmacDrbg
-from repro.errors import VnfSgxError
+from repro.errors import ReproError, VnfSgxError
 from repro.ias.api import IasClient, IasHttpService
 from repro.ias.service import IasService
 from repro.net.address import Address
+from repro.net.faults import FaultPlan
+from repro.net.retry import RetryPolicy
 from repro.net.simnet import Network
 from repro.pki.keystore import Keystore
 from repro.pki.name import DistinguishedName
@@ -65,9 +67,19 @@ VALIDATION_KEYSTORE = "keystore"
 
 @dataclass
 class WorkflowTrace:
-    """Everything :meth:`Deployment.run_workflow` measured."""
+    """Everything :meth:`Deployment.run_workflow` measured.
+
+    Attributes:
+        per_vnf: per-step timings of every *successfully* enrolled VNF.
+        failed: VNF name -> ``"ExceptionType: message"`` for every VNF
+            whose enrollment failed; the fleet run continues past them
+            (partial-failure semantics — one bad host must not abort a
+            deployment of thousands).
+        simulated_seconds / wall_seconds / clock_charges: totals.
+    """
 
     per_vnf: Dict[str, List[StepTiming]] = field(default_factory=dict)
+    failed: Dict[str, str] = field(default_factory=dict)
     simulated_seconds: float = 0.0
     wall_seconds: float = 0.0
     clock_charges: Dict[str, float] = field(default_factory=dict)
@@ -82,6 +94,11 @@ class WorkflowTrace:
                 )
         return totals
 
+    @property
+    def fully_succeeded(self) -> bool:
+        """True when every VNF in the run enrolled."""
+        return not self.failed
+
 
 class Deployment:
     """One fully wired SDN deployment (the paper's Figure 1).
@@ -94,6 +111,11 @@ class Deployment:
         client_validation: ``"ca"`` (the paper's design) or ``"keystore"``
             (stock Floodlight) for the trusted mode.
         cost_model: SGX transition cost parameters.
+        retry_policy: optional :class:`~repro.net.retry.RetryPolicy`
+            threaded through the whole pipeline (IAS client, host-agent
+            stubs, enrollment steps); ``None`` keeps the zero-tolerance
+            behaviour.  Jitter is drawn from a dedicated DRBG derived
+            from ``seed``, so retried runs stay bit-reproducible.
     """
 
     def __init__(self, seed: bytes = b"vnf-sgx-deployment",
@@ -102,17 +124,21 @@ class Deployment:
                                            MODE_TRUSTED),
                  client_validation: str = VALIDATION_CA,
                  cost_model: Optional[CostModel] = None,
-                 host_count: int = 1) -> None:
+                 host_count: int = 1,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if client_validation not in (VALIDATION_CA, VALIDATION_KEYSTORE):
             raise VnfSgxError(
                 f"unknown validation model {client_validation!r}"
             )
         if host_count < 1:
             raise VnfSgxError("need at least one container host")
+        self._seed = bytes(seed)
         self.rng = HmacDrbg(seed)
         self.network = Network()
         self.clock = self.network.clock
         self.client_validation = client_validation
+        self.retry_policy: Optional[RetryPolicy] = None
+        self._retry_rng: Optional[HmacDrbg] = None
 
         # --- Intel Attestation Service -------------------------------
         self.ias = IasService(rng=self.rng, now=self.clock.now_seconds)
@@ -231,6 +257,34 @@ class Deployment:
             self.vnf_names.append(vnf_name)
             self.vnf_host[vnf_name] = host
 
+        if retry_policy is not None:
+            self.set_retry_policy(retry_policy)
+
+    # ----------------------------------------------------------- resilience
+
+    def set_retry_policy(self, policy: Optional[RetryPolicy]) -> None:
+        """(Re)configure retries on every client in the deployment.
+
+        Threads ``policy`` through the IAS client, every host-agent stub,
+        and (via :meth:`enroll`) the per-step enrollment retry layer.
+        Backoff jitter comes from a dedicated DRBG derived from the
+        deployment seed, so the main ``rng`` stream — and therefore every
+        key, nonce and quote — is unchanged by retrying.  ``None``
+        restores the zero-tolerance default.
+        """
+        self.retry_policy = policy
+        self._retry_rng = (
+            HmacDrbg(self._seed, personalization=b"retry-jitter")
+            if policy is not None else None
+        )
+        self.ias_client.configure_retries(policy, rng=self._retry_rng)
+        for client in self.agent_clients.values():
+            client.configure_retries(policy, rng=self._retry_rng)
+
+    def install_faults(self, plan: Optional[FaultPlan]) -> None:
+        """Install (or clear, with ``None``) a fault plan on the network."""
+        self.network.install_faults(plan)
+
     # ------------------------------------------------------------ telemetry
 
     def enable_telemetry(self, registry=None, serve: bool = True,
@@ -265,6 +319,9 @@ class Deployment:
         )
         self.vm.instrument(telemetry)
         self.ias.instrument(telemetry)
+        self.ias_client.instrument(telemetry)
+        for client in self.agent_clients.values():
+            client.instrument(telemetry)
         for endpoint in self.endpoints.values():
             endpoint.instrument(telemetry)
         for host in self.hosts:
@@ -286,6 +343,9 @@ class Deployment:
 
         self.vm.instrument(None)
         self.ias.instrument(None)
+        self.ias_client.instrument(None)
+        for client in self.agent_clients.values():
+            client.instrument(None)
         for endpoint in self.endpoints.values():
             endpoint.instrument(None)
         for host in self.hosts:
@@ -345,6 +405,9 @@ class Deployment:
             controller_address=str(self.controller_address(MODE_TRUSTED)),
             sim_now=self.clock.now,
             telemetry=self.telemetry,
+            retry_policy=self.retry_policy,
+            clock=self.clock,
+            retry_rng=self._retry_rng,
         )
         with (self.telemetry.span("enrollment", vnf=vnf_name,
                                   host=host.name)
@@ -362,7 +425,15 @@ class Deployment:
         return session
 
     def run_workflow(self) -> WorkflowTrace:
-        """Execute the full Figure 1 workflow for every VNF."""
+        """Execute the full Figure 1 workflow for every VNF.
+
+        Partial-failure semantics: one VNF whose enrollment fails (host
+        down, IAS outage outlasting the retry budget, appraisal
+        rejection, ...) is recorded in :attr:`WorkflowTrace.failed` and
+        the fleet run continues — it does not abort the deployment.
+        Per-VNF enrollment is delegated to :meth:`enroll`, so a single
+        enrollment and a fleet run take exactly the same code path.
+        """
         tel = self.telemetry
         trace = WorkflowTrace()
         sim_start = self.clock.now()
@@ -371,31 +442,21 @@ class Deployment:
         with (tel.span("figure1-workflow", vnfs=len(self.vnf_names))
               if tel is not None else nullcontext()):
             for vnf_name in self.vnf_names:
-                # Keystore mode must enrol before first connect; pre-add
-                # the certificate right after provisioning by splitting
-                # the steps.
-                host = self.vnf_host[vnf_name]
-                session = EnrollmentSession(
-                    vm=self.vm,
-                    agent=self.agent_clients[host.name],
-                    host_name=host.name,
-                    vnf_name=vnf_name,
-                    controller_address=str(
-                        self.controller_address(MODE_TRUSTED)
-                    ),
-                    sim_now=self.clock.now,
-                    telemetry=tel,
-                )
-                with (tel.span("enrollment", vnf=vnf_name, host=host.name)
-                      if tel is not None else nullcontext()):
-                    session.attest_host()
-                    session.provision()
-                    if self.client_validation == VALIDATION_KEYSTORE:
-                        self.keystore.add_trusted(
-                            vnf_name, self.vm.issued_certificate(vnf_name)
-                        )
-                    session.connect(self.enclave_client(vnf_name))
-                trace.per_vnf[vnf_name] = list(session.timings)
+                try:
+                    session = self.enroll(vnf_name)
+                except ReproError as exc:
+                    trace.failed[vnf_name] = f"{type(exc).__name__}: {exc}"
+                    if tel is not None:
+                        tel.workflow_vnf_failures.inc()
+                        span = tel.tracer.current_span()
+                        if span is not None:
+                            span.add_event(
+                                "vnf-enrollment-failed",
+                                timestamp=tel.now(), vnf=vnf_name,
+                                error=trace.failed[vnf_name],
+                            )
+                else:
+                    trace.per_vnf[vnf_name] = list(session.timings)
         if tel is not None:
             tel.workflows.inc()
         trace.simulated_seconds = self.clock.now() - sim_start

@@ -165,6 +165,10 @@ class QuoteRejected(IasError):
     """IAS could not verify the quote signature."""
 
 
+class IasUnavailable(IasError):
+    """IAS answered with a transient 5xx/429 — retryable, unlike a verdict."""
+
+
 # ---------------------------------------------------------------- IMA / TPM
 
 class ImaError(ReproError):
@@ -201,6 +205,10 @@ class SdnError(ReproError):
 
 class AuthenticationFailed(SdnError):
     """Northbound API rejected the caller's credentials."""
+
+
+class ControllerUnavailable(SdnError):
+    """The northbound endpoint answered with a transient 5xx — retryable."""
 
 
 class FlowError(SdnError):

@@ -15,11 +15,18 @@ from typing import Optional
 
 from repro.crypto.keys import EcPublicKey, generate_keypair
 from repro.crypto.rng import HmacDrbg
-from repro.errors import IasError
+from repro.errors import IasError, IasUnavailable
 from repro.ias.report import AttestationVerificationReport
 from repro.ias.service import IasService
 from repro.net.address import Address
-from repro.net.rest import HttpParser, HttpRequest, HttpResponse, RestServer
+from repro.net.rest import (
+    TRANSIENT_STATUSES,
+    HttpParser,
+    HttpRequest,
+    HttpResponse,
+    RestServer,
+)
+from repro.net.retry import RetryingMixin
 from repro.net.simnet import Network
 from repro.pki.ca import CertificateAuthority
 from repro.pki.name import DistinguishedName
@@ -37,6 +44,7 @@ class IasHttpService:
                  address: Address, rng: Optional[HmacDrbg] = None) -> None:
         self.service = service
         self.address = address
+        self._network = network
         # IAS runs its own private CA for its HTTPS endpoint; relying
         # parties get the CA certificate out of band (ias_truststore).
         self._ca = CertificateAuthority(
@@ -72,9 +80,28 @@ class IasHttpService:
 
         def on_data(conn) -> None:
             for request in parser.feed(conn.recv_available()):
-                conn.send(self._rest.dispatch(request).encode())
+                conn.send(self._respond(request).encode())
 
         self._tls.accept(channel, on_data=on_data)
+
+    def _respond(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch one request, honouring any installed fault plan.
+
+        An injected ``http_error`` schedule (e.g. "IAS returns 503 for
+        the next N requests") answers here without touching the
+        :class:`IasService` — the outage is purely at the REST surface,
+        exactly like a real IAS brown-out.
+        """
+        faults = self._network.faults
+        if faults is not None:
+            injected = faults.next_http_error(self.address)
+            if injected is not None:
+                return HttpResponse(
+                    injected,
+                    headers={"retry-after": "1"},
+                    body=b"injected fault: service unavailable",
+                )
+        return self._rest.dispatch(request)
 
     def _handle_report(self, request: HttpRequest) -> HttpResponse:
         try:
@@ -91,8 +118,16 @@ class IasHttpService:
         return HttpResponse(200, body=self.service.sig_rl.to_bytes().hex().encode())
 
 
-class IasClient:
-    """Relying-party stub used by the Verification Manager."""
+class IasClient(RetryingMixin):
+    """Relying-party stub used by the Verification Manager.
+
+    Configure a :class:`~repro.net.retry.RetryPolicy` via
+    :meth:`configure_retries` and transient failures — connection
+    refusals, mid-stream drops, and 5xx/429 answers
+    (:class:`~repro.errors.IasUnavailable`) — are retried with
+    exponential backoff charged to the virtual clock.  Verdict failures
+    (a quote IAS *rejected*) are never retried.
+    """
 
     def __init__(self, network: Network, address: Address,
                  ias_truststore: Truststore,
@@ -114,9 +149,18 @@ class IasClient:
         """Submit a quote; returns the AVR after checking its signature.
 
         Raises:
-            IasError: transport failure, malformed AVR, bad AVR signature,
-                or nonce mismatch.
+            IasUnavailable: transient IAS failure (5xx/429) after any
+                configured retries were exhausted.
+            IasError: malformed AVR, bad AVR signature, nonce mismatch,
+                or a non-transient error status.
         """
+        return self._retrying(
+            lambda: self._verify_once(quote_bytes, nonce),
+            operation="ias-verify", clock=self._network.clock,
+        )
+
+    def _verify_once(self, quote_bytes: bytes,
+                     nonce: str) -> AttestationVerificationReport:
         channel = self._network.connect(self._source_host, self._address)
         conn = self._tls_client.connect(channel, server_name=str(self._address))
         try:
@@ -134,6 +178,11 @@ class IasClient:
             if not responses:
                 raise IasError("no response from IAS")
             response = responses[0]
+            if response.status in TRANSIENT_STATUSES:
+                raise IasUnavailable(
+                    f"IAS returned {response.status}: "
+                    f"{response.body.decode(errors='replace')}"
+                )
             if response.status != 200:
                 raise IasError(
                     f"IAS returned {response.status}: "

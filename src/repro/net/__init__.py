@@ -13,8 +13,10 @@ from repro.net.clock import VirtualClock
 from repro.net.address import Address
 from repro.net.simnet import Network, LinkProfile
 from repro.net.channel import Channel
+from repro.net.faults import FaultPlan
 from repro.net.framing import send_frame, recv_frame
 from repro.net.rest import HttpRequest, HttpResponse, RestServer
+from repro.net.retry import NO_RETRY, RetryPolicy, retry_call
 
 __all__ = [
     "VirtualClock",
@@ -22,9 +24,13 @@ __all__ = [
     "Network",
     "LinkProfile",
     "Channel",
+    "FaultPlan",
     "send_frame",
     "recv_frame",
     "HttpRequest",
     "HttpResponse",
     "RestServer",
+    "NO_RETRY",
+    "RetryPolicy",
+    "retry_call",
 ]

@@ -1,0 +1,324 @@
+"""Deterministic fault injection for the simulated network.
+
+The paper's enrollment pipeline assumes a live Intel Attestation Service
+and a chatty multi-step protocol; at fleet scale, partial failure is the
+steady state.  A :class:`FaultPlan` models that reality: it is a
+seed-driven schedule of connection refusals, latency spikes, mid-stream
+drops and injected HTTP error bursts, installable on a
+:class:`~repro.net.simnet.Network` via :meth:`Network.install_faults`.
+
+Determinism is a hard requirement (the benchmark harness and the
+acceptance tests compare whole workflow traces byte-for-byte): every
+probabilistic decision draws from the plan's own HMAC-DRBG, every
+time-based window is evaluated against the shared virtual clock, and all
+injected latency is charged to the ``"fault-injection"`` clock account —
+so equal seeds plus equal plans give identical failure traces.
+
+Fault vocabulary:
+
+- :meth:`FaultPlan.refuse_connections` — SYN-to-nowhere: ``connect`` to
+  the address raises :class:`~repro.errors.ConnectionRefused` for the
+  next N attempts and/or for a simulated-time window.
+- :meth:`FaultPlan.delay_connect` / :meth:`FaultPlan.delay_send` —
+  latency spikes charged on top of the link profile.
+- :meth:`FaultPlan.drop_after_sends` — mid-stream channel drop: the
+  K-th send on a matching connection tears the connection down and
+  raises :class:`~repro.errors.ChannelClosed`.
+- :meth:`FaultPlan.drop_send_probability` — DRBG-driven random drops.
+- :meth:`FaultPlan.http_error` — application-level failure schedule
+  ("IAS returns 503 for the next N requests"); HTTP services consult
+  :meth:`FaultPlan.next_http_error` before dispatching.
+
+Injected faults surface as the *same* exception types real outages
+produce (``ConnectionRefused``, ``ChannelClosed``), so the retry layer
+in :mod:`repro.net.retry` handles both identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ChannelClosed, ConnectionRefused, VnfSgxError
+from repro.net.address import Address
+from repro.net.clock import VirtualClock
+
+#: Clock account all injected latency is charged to.
+FAULT_ACCOUNT = "fault-injection"
+
+KIND_REFUSAL = "connection-refused"
+KIND_CONNECT_DELAY = "connect-delay"
+KIND_SEND_DELAY = "send-delay"
+KIND_DROP = "connection-drop"
+KIND_HTTP_ERROR = "http-error"
+
+
+class _Schedule:
+    """When a fault fires: a use-count budget and/or a sim-time window.
+
+    ``count=None`` means unlimited uses while the window is open;
+    ``for_seconds=None`` means no time bound.  A schedule with neither is
+    permanent.
+    """
+
+    __slots__ = ("remaining", "_for_seconds", "_until")
+
+    def __init__(self, count: Optional[int] = None,
+                 for_seconds: Optional[float] = None) -> None:
+        if count is not None and count <= 0:
+            raise VnfSgxError("fault count must be positive")
+        if for_seconds is not None and for_seconds <= 0:
+            raise VnfSgxError("fault window must be positive")
+        self.remaining = count
+        self._for_seconds = for_seconds
+        self._until: Optional[float] = None  # resolved on first check
+
+    def fires(self, now: float) -> bool:
+        """Consume one use if the schedule is active at ``now``."""
+        if self._for_seconds is not None and self._until is None:
+            # The window opens the first time the fault is consulted
+            # after installation (deterministic on the virtual clock).
+            self._until = now + self._for_seconds
+        if self._until is not None and now >= self._until:
+            return False
+        if self.remaining is not None:
+            if self.remaining <= 0:
+                return False
+            self.remaining -= 1
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the use-count budget is spent (windows never exhaust
+        eagerly; they simply stop firing)."""
+        return self.remaining is not None and self.remaining <= 0
+
+
+class _ConnectionFaults:
+    """Per-connection fault state captured at connect time."""
+
+    __slots__ = ("drop_after", "sends_seen", "drop_probability")
+
+    def __init__(self, drop_after: Optional[int],
+                 drop_probability: float) -> None:
+        self.drop_after = drop_after
+        self.sends_seen = 0
+        self.drop_probability = drop_probability
+
+
+class FaultPlan:
+    """A deterministic, installable schedule of injected faults.
+
+    Args:
+        seed: DRBG seed for probabilistic decisions (drop probabilities).
+            Equal seeds + equal plans + equal traffic give identical
+            failure traces.
+
+    Faults are keyed by destination :class:`Address`; a plan matches a
+    connection by the address it was opened to, and both directions of
+    that connection are subject to its send faults.
+    """
+
+    def __init__(self, seed: bytes = b"fault-plan") -> None:
+        self._rng = HmacDrbg(seed, personalization=b"repro.net.faults")
+        self._refusals: Dict[Address, List[_Schedule]] = {}
+        self._connect_delays: Dict[Address, List[Tuple[float, _Schedule]]] = {}
+        self._send_delays: Dict[Address, List[Tuple[float, _Schedule]]] = {}
+        self._drops: Dict[Address, List[Tuple[int, _Schedule]]] = {}
+        self._drop_probabilities: Dict[Address, Tuple[float, _Schedule]] = {}
+        self._http_errors: Dict[Address, List[Tuple[int, _Schedule]]] = {}
+        #: Count of injected faults by kind (introspection/testing).
+        self.injected: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- installing
+
+    def refuse_connections(self, address: Address,
+                           count: Optional[int] = None,
+                           for_seconds: Optional[float] = None) -> "FaultPlan":
+        """Refuse the next ``count`` connects to ``address`` and/or every
+        connect within the next ``for_seconds`` of simulated time.
+
+        With neither bound the address is permanently unreachable (until
+        :meth:`clear`).
+        """
+        self._refusals.setdefault(address, []).append(
+            _Schedule(count, for_seconds)
+        )
+        return self
+
+    def delay_connect(self, address: Address, seconds: float,
+                      count: Optional[int] = None,
+                      for_seconds: Optional[float] = None) -> "FaultPlan":
+        """Charge ``seconds`` of extra latency to matching connects."""
+        if seconds < 0:
+            raise VnfSgxError("connect delay must be non-negative")
+        self._connect_delays.setdefault(address, []).append(
+            (seconds, _Schedule(count, for_seconds))
+        )
+        return self
+
+    def delay_send(self, address: Address, seconds: float,
+                   count: Optional[int] = None,
+                   for_seconds: Optional[float] = None) -> "FaultPlan":
+        """Charge ``seconds`` of extra latency to matching sends (either
+        direction of connections opened to ``address``)."""
+        if seconds < 0:
+            raise VnfSgxError("send delay must be non-negative")
+        self._send_delays.setdefault(address, []).append(
+            (seconds, _Schedule(count, for_seconds))
+        )
+        return self
+
+    def drop_after_sends(self, address: Address, sends: int,
+                         connections: int = 1) -> "FaultPlan":
+        """Tear down each of the next ``connections`` connections to
+        ``address`` on its ``sends``-th send (a mid-stream drop: the
+        send raises :class:`~repro.errors.ChannelClosed` and the peer
+        observes EOF)."""
+        if sends <= 0:
+            raise VnfSgxError("drop threshold must be positive")
+        self._drops.setdefault(address, []).append(
+            (sends, _Schedule(connections))
+        )
+        return self
+
+    def drop_send_probability(self, address: Address, probability: float,
+                              count: Optional[int] = None,
+                              for_seconds: Optional[float] = None
+                              ) -> "FaultPlan":
+        """Drop each matching connection at send time with ``probability``
+        (drawn from the plan's DRBG, hence deterministic per seed)."""
+        if not 0.0 <= probability <= 1.0:
+            raise VnfSgxError("probability must be within [0, 1]")
+        self._drop_probabilities[address] = (
+            probability, _Schedule(count, for_seconds)
+        )
+        return self
+
+    def http_error(self, address: Address, status: int = 503,
+                   count: int = 1) -> "FaultPlan":
+        """Make the HTTP service at ``address`` answer the next ``count``
+        requests with ``status`` instead of dispatching them.
+
+        Services opt in by consulting :meth:`next_http_error` (the IAS
+        endpoint and the controller's northbound endpoints do).
+        """
+        if not 400 <= status <= 599:
+            raise VnfSgxError(f"injected status {status} is not an error")
+        self._http_errors.setdefault(address, []).append(
+            (status, _Schedule(count))
+        )
+        return self
+
+    def clear(self, address: Optional[Address] = None) -> None:
+        """Drop every installed fault (or only those for ``address``)."""
+        tables = (self._refusals, self._connect_delays, self._send_delays,
+                  self._drops, self._drop_probabilities, self._http_errors)
+        for table in tables:
+            if address is None:
+                table.clear()
+            else:
+                table.pop(address, None)
+
+    # ------------------------------------------------------------------ hooks
+    # Called by Network / HTTP services; not by user code.
+
+    def _record(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def on_connect(self, destination: Address,
+                   clock: VirtualClock) -> "_ConnectionFaults":
+        """Consulted by :meth:`Network.connect` before the rendezvous.
+
+        Raises :class:`~repro.errors.ConnectionRefused` for scheduled
+        refusals, charges scheduled connect delays, and returns the
+        per-connection fault state (mid-stream drop budget).
+        """
+        now = clock.now()
+        for schedule in self._refusals.get(destination, []):
+            if schedule.fires(now):
+                self._record(KIND_REFUSAL)
+                raise ConnectionRefused(
+                    f"injected fault: connection to {destination} refused"
+                )
+        for seconds, schedule in self._connect_delays.get(destination, []):
+            if schedule.fires(now):
+                self._record(KIND_CONNECT_DELAY)
+                clock.advance(seconds, FAULT_ACCOUNT)
+        drop_after: Optional[int] = None
+        for sends, schedule in self._drops.get(destination, []):
+            if schedule.fires(now):
+                drop_after = sends
+                break
+        drop_probability = 0.0
+        probability_entry = self._drop_probabilities.get(destination)
+        if probability_entry is not None:
+            drop_probability = probability_entry[0]
+        return _ConnectionFaults(drop_after, drop_probability)
+
+    def on_send(self, destination: Address, state: "_ConnectionFaults",
+                clock: VirtualClock) -> bool:
+        """Consulted once per send on a faulted connection.
+
+        Charges scheduled send delays; returns ``True`` when the
+        connection must be dropped *instead of* delivering the payload.
+        """
+        now = clock.now()
+        for seconds, schedule in self._send_delays.get(destination, []):
+            if schedule.fires(now):
+                self._record(KIND_SEND_DELAY)
+                clock.advance(seconds, FAULT_ACCOUNT)
+        state.sends_seen += 1
+        if state.drop_after is not None and state.sends_seen >= state.drop_after:
+            state.drop_after = None  # one drop per budget entry
+            self._record(KIND_DROP)
+            return True
+        if state.drop_probability > 0.0:
+            entry = self._drop_probabilities.get(destination)
+            if entry is not None and entry[1].fires(now):
+                draw = self._rng.random_int(1 << 30) / float(1 << 30)
+                if draw < state.drop_probability:
+                    self._record(KIND_DROP)
+                    return True
+        return False
+
+    def next_http_error(self, address: Address) -> Optional[int]:
+        """The status an HTTP service at ``address`` must answer the
+        current request with, or ``None`` to dispatch normally."""
+        entries = self._http_errors.get(address)
+        if not entries:
+            return None
+        status, schedule = entries[0]
+        if not schedule.fires(0.0):
+            if schedule.exhausted:
+                # Burst drained: advance to the next scheduled burst.
+                entries.pop(0)
+                return self.next_http_error(address)
+            return None
+        self._record(KIND_HTTP_ERROR)
+        return status
+
+    # -------------------------------------------------------------- teardown
+
+    @staticmethod
+    def tear_down(channel) -> None:
+        """Drop a live connection: both endpoints close, the in-flight
+        payload is lost, and the interrupted send raises."""
+        peer = channel.peer
+        channel.close()
+        if peer is not None:
+            peer.close()
+        raise ChannelClosed(
+            f"injected fault: connection dropped mid-stream ({channel.label})"
+        )
+
+
+__all__ = [
+    "FAULT_ACCOUNT",
+    "FaultPlan",
+    "KIND_CONNECT_DELAY",
+    "KIND_DROP",
+    "KIND_HTTP_ERROR",
+    "KIND_REFUSAL",
+    "KIND_SEND_DELAY",
+]

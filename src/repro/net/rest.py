@@ -26,8 +26,34 @@ STATUS_REASONS = {
     403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: Transient statuses a client may retry under a
+#: :class:`repro.net.retry.RetryPolicy`.
+TRANSIENT_STATUSES = frozenset({429, 502, 503, 504})
+
+
+def _normalized_headers(headers: Dict[str, str], body: bytes) -> Dict[str, str]:
+    """Lowercase header names at encode time.
+
+    The parser lowercases names on the way in; encoding must do the same
+    or a caller passing ``{"Content-Length": "5"}`` would emit *two*
+    conflicting content-length headers on the wire (the caller's and the
+    ``setdefault`` one).  Later duplicates (after normalization) win,
+    matching ``dict`` update semantics — except ``content-length``, which
+    the encoder always computes from the actual body so the framing can
+    never lie about the payload it carries.
+    """
+    normalized: Dict[str, str] = {}
+    for name, value in headers.items():
+        normalized[name.strip().lower()] = str(value).strip()
+    normalized["content-length"] = str(len(body))
+    return normalized
 
 
 @dataclass
@@ -40,9 +66,8 @@ class HttpRequest:
     body: bytes = b""
 
     def encode(self) -> bytes:
-        """Serialize to wire bytes."""
-        headers = dict(self.headers)
-        headers.setdefault("content-length", str(len(self.body)))
+        """Serialize to wire bytes (header names normalized to lowercase)."""
+        headers = _normalized_headers(self.headers, self.body)
         lines = [f"{self.method} {self.path} HTTP/1.1"]
         lines.extend(f"{k}: {v}" for k, v in headers.items())
         return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + self.body
@@ -57,10 +82,9 @@ class HttpResponse:
     body: bytes = b""
 
     def encode(self) -> bytes:
-        """Serialize to wire bytes."""
+        """Serialize to wire bytes (header names normalized to lowercase)."""
         reason = STATUS_REASONS.get(self.status, "Unknown")
-        headers = dict(self.headers)
-        headers.setdefault("content-length", str(len(self.body)))
+        headers = _normalized_headers(self.headers, self.body)
         lines = [f"HTTP/1.1 {self.status} {reason}"]
         lines.extend(f"{k}: {v}" for k, v in headers.items())
         return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + self.body

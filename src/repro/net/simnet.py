@@ -4,17 +4,25 @@ A :class:`Network` owns the virtual clock, a listener table, and a latency
 model.  ``connect`` performs a rendezvous with the destination's acceptor
 and returns the client-side channel; every byte sent afterwards charges
 latency + serialization time to the clock under the ``"network"`` account.
+
+A :class:`~repro.net.faults.FaultPlan` installed via
+:meth:`Network.install_faults` intercepts connects and sends to inject
+refusals, latency spikes and mid-stream drops deterministically; see
+``docs/FAULTS.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.errors import AddressError, ConnectionRefused
 from repro.net.address import Address
 from repro.net.channel import Channel
 from repro.net.clock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.net.faults import FaultPlan
 
 Acceptor = Callable[[Channel], None]
 
@@ -59,6 +67,20 @@ class Network:
         self._listeners: Dict[Address, Acceptor] = {}
         self._profiles: Dict[Tuple[str, str], LinkProfile] = {}
         self._connection_count = 0
+        self._faults: Optional["FaultPlan"] = None
+
+    # --------------------------------------------------------------- faults
+
+    @property
+    def faults(self) -> Optional["FaultPlan"]:
+        """The installed fault plan, or ``None``."""
+        return self._faults
+
+    def install_faults(self, plan: Optional["FaultPlan"]) -> Optional["FaultPlan"]:
+        """Install a :class:`~repro.net.faults.FaultPlan` (or clear it
+        with ``None``).  Returns the plan for chaining."""
+        self._faults = plan
+        return plan
 
     # ------------------------------------------------------------- topology
 
@@ -102,6 +124,11 @@ class Network:
         if acceptor is None:
             raise ConnectionRefused(f"nothing listening at {destination}")
         profile = self.profile_between(source_host, destination.host)
+        fault_state = None
+        if self._faults is not None:
+            # May raise ConnectionRefused (injected) or charge extra
+            # connect latency; returns this connection's fault budget.
+            fault_state = self._faults.on_connect(destination, self.clock)
         self._connection_count += 1
         conn_id = self._connection_count
         # Connection setup costs one round trip (SYN + SYN/ACK equivalent).
@@ -112,6 +139,14 @@ class Network:
 
         def make_deliver(direction: str) -> Callable[[Channel, bytes], None]:
             def deliver(sender: Channel, data: bytes) -> None:
+                if fault_state is not None and self._faults is not None:
+                    from repro.net.faults import FaultPlan
+
+                    if self._faults.on_send(destination, fault_state,
+                                            self.clock):
+                        # Mid-stream drop: the payload is lost, both
+                        # endpoints close, and the send raises.
+                        FaultPlan.tear_down(sender)
                 self.clock.advance(profile.transfer_time(len(data)), "network")
                 receiver = sender.peer
                 if receiver is not None:

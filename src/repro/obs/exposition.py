@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import ObservabilityError, RestError
 from repro.net.address import Address

@@ -43,6 +43,10 @@ M_BOUNDARY_BYTES = "vnf_sgx_enclave_boundary_bytes_total"
 M_WORKFLOW_STEP_SECONDS = "vnf_sgx_workflow_step_seconds"
 M_WORKFLOWS = "vnf_sgx_workflows_total"
 M_ENROLLED_VNFS = "vnf_sgx_enrolled_vnfs"
+M_RETRY_ATTEMPTS = "vnf_sgx_retry_attempts_total"
+M_RETRY_GIVEUPS = "vnf_sgx_retry_giveups_total"
+M_RETRY_BACKOFF_SECONDS = "vnf_sgx_retry_backoff_seconds"
+M_WORKFLOW_VNF_FAILURES = "vnf_sgx_workflow_vnf_failures_total"
 
 
 class Telemetry:
@@ -128,6 +132,25 @@ class Telemetry:
         self.enrolled_vnfs = r.gauge(
             M_ENROLLED_VNFS, "VNFs currently holding provisioned credentials",
         )
+        self.retry_attempts = r.counter(
+            M_RETRY_ATTEMPTS,
+            "Transient-failure re-attempts by pipeline operation",
+            labelnames=("operation",),
+        )
+        self.retry_giveups = r.counter(
+            M_RETRY_GIVEUPS,
+            "Operations abandoned after exhausting their retry policy",
+            labelnames=("operation",),
+        )
+        self.retry_backoff_seconds = r.histogram(
+            M_RETRY_BACKOFF_SECONDS,
+            "Simulated backoff slept before each re-attempt",
+        )
+        self.workflow_vnf_failures = r.counter(
+            M_WORKFLOW_VNF_FAILURES,
+            "VNFs whose enrollment failed during a workflow run "
+            "(recorded in WorkflowTrace.failed, fleet continues)",
+        )
 
     # -------------------------------------------------------------- spans
 
@@ -193,4 +216,8 @@ __all__ = [
     "M_WORKFLOW_STEP_SECONDS",
     "M_WORKFLOWS",
     "M_ENROLLED_VNFS",
+    "M_RETRY_ATTEMPTS",
+    "M_RETRY_GIVEUPS",
+    "M_RETRY_BACKOFF_SECONDS",
+    "M_WORKFLOW_VNF_FAILURES",
 ]

@@ -23,7 +23,7 @@ class Span:
     """One timed, attributed region of the workflow."""
 
     __slots__ = ("name", "trace_id", "span_id", "parent_id", "start", "end",
-                 "attributes", "children")
+                 "attributes", "children", "events")
 
     def __init__(self, name: str, trace_id: str, span_id: str,
                  parent_id: Optional[str], start: float) -> None:
@@ -35,6 +35,7 @@ class Span:
         self.end: Optional[float] = None
         self.attributes: Dict[str, Any] = {}
         self.children: List["Span"] = []
+        self.events: List[Dict[str, Any]] = []
 
     @property
     def duration(self) -> float:
@@ -50,6 +51,19 @@ class Span:
         """Attach one attribute."""
         self.attributes[key] = value
 
+    def add_event(self, name: str, timestamp: Optional[float] = None,
+                  **attributes: Any) -> Dict[str, Any]:
+        """Attach a point-in-time event (e.g. one retry) to this span.
+
+        Events carry a name, a timestamp (caller-supplied; the retry
+        layer passes simulated time) and free-form attributes; they are
+        exported inside the span under ``"events"``.
+        """
+        event: Dict[str, Any] = {"name": name, "timestamp": timestamp}
+        event.update(attributes)
+        self.events.append(event)
+        return event
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (children nested)."""
         return {
@@ -61,6 +75,7 @@ class Span:
             "end": self.end,
             "duration": self.duration,
             "attributes": dict(self.attributes),
+            "events": [dict(event) for event in self.events],
             "children": [child.to_dict() for child in self.children],
         }
 
@@ -150,6 +165,15 @@ class Tracer:
     def span(self, name: str, **attributes: Any) -> _SpanContext:
         """``with tracer.span("name", key=value) as span: ...``"""
         return _SpanContext(self, self.start_span(name, **attributes))
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` when quiescent.
+
+        The retry layer uses this to attach retry/give-up events to
+        whatever step is in flight without threading span handles
+        through every client.
+        """
+        return self._stack[-1] if self._stack else None
 
     # ------------------------------------------------------------ export
 

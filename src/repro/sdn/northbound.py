@@ -88,6 +88,7 @@ class NorthboundEndpoint:
         self.controller = controller
         self.address = address
         self.mode = mode
+        self._network = network
         self.requests_served = 0
         self.unauthenticated_writes = 0
         self._telemetry = None  # set by instrument()
@@ -131,9 +132,21 @@ class NorthboundEndpoint:
 
     # ------------------------------------------------------------- routing
 
+    def _injected_fault(self) -> Optional[HttpResponse]:
+        """An injected ``http_error`` response for this request, if the
+        network's fault plan schedules one (controller brown-out)."""
+        faults = self._network.faults
+        if faults is None:
+            return None
+        status = faults.next_http_error(self.address)
+        if status is None:
+            return None
+        return HttpResponse(status, headers={"retry-after": "1"},
+                            body=b"injected fault: controller unavailable")
+
     def _dispatch(self, request: HttpRequest,
                   auth: AuthContext) -> HttpResponse:
-        response = self._route(request, auth)
+        response = self._injected_fault() or self._route(request, auth)
         if self._telemetry is not None:
             self._telemetry.northbound_requests.labels(
                 mode=self.mode, method=request.method.upper(),

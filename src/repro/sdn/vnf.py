@@ -15,9 +15,10 @@ from typing import Dict, List, Optional
 
 from repro.crypto.keys import EcPrivateKey
 from repro.crypto.rng import HmacDrbg
-from repro.errors import SdnError
+from repro.errors import ControllerUnavailable, NetError, SdnError
 from repro.net.address import Address
-from repro.net.rest import HttpParser, HttpRequest, HttpResponse
+from repro.net.rest import TRANSIENT_STATUSES, HttpParser, HttpRequest, HttpResponse
+from repro.net.retry import RetryingMixin
 from repro.net.simnet import Network
 from repro.pki.certificate import Certificate
 from repro.pki.truststore import Truststore
@@ -65,8 +66,17 @@ class ControllerOps:
         return self.request_json("GET", FLOW_LIST_PATH)
 
 
-class VnfRestClient(ControllerOps):
-    """A REST client for one northbound endpoint, in any security mode."""
+class VnfRestClient(ControllerOps, RetryingMixin):
+    """A REST client for one northbound endpoint, in any security mode.
+
+    With a :class:`~repro.net.retry.RetryPolicy` configured
+    (:meth:`configure_retries`), transient transport failures (refused
+    connects, mid-stream drops) and transient controller statuses
+    (502/503/504/429, surfaced as
+    :class:`~repro.errors.ControllerUnavailable`) are retried with
+    backoff; each re-attempt re-establishes the connection — including a
+    fresh TLS handshake in the HTTPS modes.
+    """
 
     def __init__(self, network: Network, controller_address: Address,
                  source_host: str, mode: str,
@@ -112,20 +122,50 @@ class VnfRestClient(ControllerOps):
     def close(self) -> None:
         """Close the persistent connection (if any)."""
         if self._stream is not None and not self._stream.closed:
-            self._stream.close()
+            try:
+                self._stream.close()
+            except NetError:
+                pass  # a dropped channel cannot block a local close
         self._stream = None
 
     # ------------------------------------------------------------- requests
 
     def request(self, method: str, path: str,
                 body: bytes = b"") -> HttpResponse:
-        """One request/response exchange over the persistent connection."""
-        stream = self._ensure_stream()
-        stream.send(HttpRequest(method, path, body=body).encode())
-        responses = self._parser.feed(stream.recv_available())
+        """One request/response exchange over the persistent connection.
+
+        Without a retry policy this returns whatever the controller
+        answered, any status.  With one, transient statuses are raised
+        as :class:`~repro.errors.ControllerUnavailable` and retried; on
+        give-up that exception propagates.
+        """
+        encoded = HttpRequest(method, path, body=body).encode()
+        return self._retrying(
+            lambda: self._request_once(encoded),
+            operation="northbound", clock=self._network.clock,
+            retryable=(NetError, ControllerUnavailable),
+        )
+
+    def _request_once(self, encoded: bytes) -> HttpResponse:
+        try:
+            stream = self._ensure_stream()
+            stream.send(encoded)
+            responses = self._parser.feed(stream.recv_available())
+        except NetError:
+            self.close()  # reconnect (and re-handshake) on the next attempt
+            raise
         if not responses:
+            self.close()
             raise SdnError("controller returned no response")
-        return responses[0]
+        response = responses[0]
+        if (self._retry_policy is not None
+                and self._retry_policy.max_attempts > 1
+                and response.status in TRANSIENT_STATUSES):
+            raise ControllerUnavailable(
+                f"controller returned {response.status}: "
+                f"{response.body.decode(errors='replace')}"
+            )
+        return response
 
     def request_json(self, method: str, path: str,
                      payload: Optional[dict] = None) -> dict:

@@ -34,7 +34,6 @@ from repro.tls.constants import (
 )
 from repro.tls.record import RecordLayer
 from repro.tls.session import (
-    SessionCache,
     TlsConfig,
     TlsSession,
     derive_key_block,

@@ -36,8 +36,14 @@ class SessionCache:
         self._sessions: Dict[bytes, TlsSession] = {}
 
     def store(self, session: TlsSession) -> None:
-        """Insert a session, evicting the oldest entry when full."""
-        if len(self._sessions) >= self._capacity:
+        """Insert a session, evicting the FIFO-oldest entry when full.
+
+        Overwriting an already-cached session id never evicts: the
+        overwrite does not grow the cache, so evicting an unrelated
+        session would silently shrink the effective capacity.
+        """
+        if (session.session_id not in self._sessions
+                and len(self._sessions) >= self._capacity):
             oldest = next(iter(self._sessions))
             del self._sessions[oldest]
         self._sessions[session.session_id] = session

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bench.harness import (
-    Measurement,
     Recorder,
     Summary,
     Table,

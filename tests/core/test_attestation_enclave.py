@@ -1,9 +1,6 @@
 """The host-side integrity attestation enclave."""
 
-import pytest
-
 from repro.core.attestation_enclave import (
-    AttestationEnclave,
     QuotedEvidence,
     attestation_report_data,
     reference_measurement,

@@ -10,7 +10,6 @@ from repro.core.provisioning import binding_hash
 from repro.errors import (
     EnclaveMemoryViolation,
     ProvisioningError,
-    ReproError,
     SealingError,
 )
 

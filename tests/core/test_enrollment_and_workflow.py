@@ -106,3 +106,44 @@ def test_invalid_validation_model_rejected():
 
     with pytest.raises(VnfSgxError):
         Deployment(client_validation="blockchain")
+
+
+def test_run_workflow_equals_sequential_enroll():
+    """run_workflow() is enroll() in a loop — not a diverging copy of its
+    body.  Two identically seeded deployments, one driven by
+    run_workflow() and one by sequential enroll() calls, must produce
+    identical per-VNF timings."""
+    from repro.core import Deployment
+
+    via_workflow = Deployment(seed=b"dedup", vnf_count=2)
+    trace = via_workflow.run_workflow()
+
+    via_enroll = Deployment(seed=b"dedup", vnf_count=2)
+    sessions = {name: via_enroll.enroll(name)
+                for name in via_enroll.vnf_names}
+
+    assert set(trace.per_vnf) == set(sessions)
+    for vnf_name, session in sessions.items():
+        workflow_steps = trace.per_vnf[vnf_name]
+        assert [t.step for t in workflow_steps] == \
+            [t.step for t in session.timings]
+        for from_workflow, from_enroll in zip(workflow_steps,
+                                              session.timings):
+            assert from_workflow.simulated_seconds == pytest.approx(
+                from_enroll.simulated_seconds
+            )
+
+
+def test_partial_failure_recorded_not_raised():
+    """A VNF that cannot enrol lands in WorkflowTrace.failed; the rest of
+    the fleet still enrolls."""
+    from repro.core import Deployment
+
+    deployment = Deployment(seed=b"partial", vnf_count=3)
+    # vnf-2's enclave disappears (e.g. its container was killed).
+    del deployment.agent._credential_enclaves["vnf-2"]
+    trace = deployment.run_workflow()
+    assert sorted(trace.per_vnf) == ["vnf-1", "vnf-3"]
+    assert list(trace.failed) == ["vnf-2"]
+    assert "vnf-2" in trace.failed["vnf-2"]
+    assert not trace.fully_succeeded

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.host_agent import HostAgentClient
 from repro.errors import VnfSgxError
 from repro.ima.iml import MeasurementList
 

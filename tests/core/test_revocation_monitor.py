@@ -45,3 +45,67 @@ def test_revoked_vnf_cannot_reconnect(deployment):
     client.close()
     with pytest.raises(ReproError):
         client.summary()
+
+
+def test_unreachable_host_is_not_revoked(deployment):
+    """A transport failure is an availability problem, not a trust
+    verdict: the host keeps its credentials and the monitor retries."""
+    from repro.core.host_agent import HostAgentClient
+    from repro.core.revocation import STATUS_UNREACHABLE
+    from repro.net.faults import FaultPlan
+
+    deployment.enroll("vnf-1")
+    agent_client = HostAgentClient(deployment.network,
+                                   deployment.agent.address)
+    monitor = ReattestationMonitor(deployment.vm, ias_service=deployment.ias)
+    monitor.watch(deployment.host.name, agent_client)
+
+    plan = FaultPlan().refuse_connections(deployment.agent.address)
+    deployment.install_faults(plan)
+    for expected_streak in (1, 2):
+        [outcome] = monitor.sweep()
+        assert not outcome.reachable
+        assert outcome.status == STATUS_UNREACHABLE
+        assert outcome.trustworthy  # last-known status preserved
+        assert outcome.revoked_vnfs == []
+        assert outcome.consecutive_unreachable == expected_streak
+        assert "host unreachable (retrying)" in outcome.failures[0]
+    assert deployment.vm.host_trusted(deployment.host.name)
+
+    # The network heals: the next sweep re-attests and resets the streak.
+    deployment.install_faults(None)
+    [outcome] = monitor.sweep()
+    assert outcome.reachable and outcome.trustworthy
+    assert monitor.unreachable_streak(deployment.host.name) == 0
+
+
+def test_punish_tolerates_unregistered_platform(deployment):
+    """IAS revocation of a platform IAS never registered must not mask
+    the (already completed) local revocation."""
+    from repro.ias.service import IasService
+
+    empty_ias = IasService(rng=deployment.rng,
+                           now=deployment.clock.now_seconds)
+    deployment.enroll("vnf-1")
+    monitor = ReattestationMonitor(deployment.vm, ias_service=empty_ias)
+    monitor.watch(deployment.host.name, deployment.agent_client)
+    deployment.host.tamper_file("/usr/sbin/sshd", b"backdoor")
+    [outcome] = monitor.sweep()
+    assert not outcome.trustworthy
+    assert outcome.revoked_vnfs == ["vnf-1"]
+
+
+def test_punish_propagates_unexpected_errors(deployment):
+    """Only IAS-level errors are tolerated during punishment; anything
+    else is a monitor bug and must surface."""
+
+    class ExplodingIas:
+        def revoke_platform(self, platform_name):
+            raise RuntimeError("ias stub exploded")
+
+    deployment.enroll("vnf-1")
+    monitor = ReattestationMonitor(deployment.vm, ias_service=ExplodingIas())
+    monitor.watch(deployment.host.name, deployment.agent_client)
+    deployment.host.tamper_file("/usr/sbin/sshd", b"backdoor")
+    with pytest.raises(RuntimeError, match="ias stub exploded"):
+        monitor.sweep()

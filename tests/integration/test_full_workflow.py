@@ -1,7 +1,5 @@
 """Figure 1 end to end, on one shared enrolled deployment."""
 
-import pytest
-
 from repro.core import events as ev
 
 

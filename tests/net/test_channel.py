@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ChannelClosed, ConnectionRefused, NetError
 from repro.net.address import Address
-from repro.net.simnet import Network
 
 
 @pytest.fixture

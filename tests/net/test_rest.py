@@ -84,3 +84,32 @@ def test_rest_server_wraps_handler_errors():
     response = server.dispatch(HttpRequest("GET", "/boom"))
     assert response.status == 500
     assert b"kaboom" in response.body
+
+
+def test_encode_normalizes_header_case():
+    """Regression: a caller-supplied ``Content-Length`` (any case) used to
+    slip past the case-sensitive ``setdefault("content-length", ...)``,
+    emitting two conflicting Content-Length headers on the wire."""
+    request = HttpRequest("POST", "/x",
+                          {"Content-Length": "999",
+                           "X-Custom": "v"}, b"12345")
+    wire = request.encode()
+    assert wire.lower().count(b"content-length") == 1
+    parsed = HttpParser(is_server_side=True).feed(wire)
+    assert parsed[0].body == b"12345"
+    assert parsed[0].headers["x-custom"] == "v"
+
+
+def test_encode_response_normalizes_header_case():
+    response = HttpResponse(200, {"CONTENT-LENGTH": "7",
+                                  "Content-Type": "text/plain"}, b"ok")
+    wire = response.encode()
+    assert wire.lower().count(b"content-length") == 1
+    parsed = HttpParser(is_server_side=False).feed(wire)
+    assert parsed[0].body == b"ok"
+    assert parsed[0].headers["content-type"] == "text/plain"
+
+
+def test_encode_strips_header_whitespace():
+    wire = HttpRequest("GET", "/x", {" content-length ": "0"}).encode()
+    assert wire.lower().count(b"content-length") == 1

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import AddressError
 from repro.net.address import Address
-from repro.net.simnet import DATACENTER, LOOPBACK, LinkProfile, Network
+from repro.net.simnet import DATACENTER, LOOPBACK, LinkProfile
 
 
 def test_listen_and_connect_counts(network):

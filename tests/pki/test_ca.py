@@ -4,7 +4,6 @@ import pytest
 
 from repro.crypto.keys import generate_keypair
 from repro.errors import CertificateError, InvalidSignature, RevocationError
-from repro.pki.ca import CertificateAuthority
 from repro.pki.certificate import (
     KEY_USAGE_CERT_SIGN,
     KEY_USAGE_CLIENT_AUTH,

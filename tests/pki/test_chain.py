@@ -12,7 +12,6 @@ from repro.errors import (
 from repro.pki.ca import CertificateAuthority
 from repro.pki.certificate import KEY_USAGE_CERT_SIGN, KEY_USAGE_CLIENT_AUTH
 from repro.pki.chain import build_path, validate_chain
-from repro.pki.csr import create_csr
 from repro.pki.name import DistinguishedName
 from repro.pki.truststore import Truststore
 

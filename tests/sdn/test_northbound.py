@@ -4,12 +4,9 @@ import json
 
 import pytest
 
-from repro.crypto.keys import generate_keypair
 from repro.errors import ReproError, SdnError
 from repro.net.address import Address
-from repro.pki.csr import create_csr
 from repro.pki.keystore import Keystore
-from repro.pki.name import DistinguishedName
 from repro.sdn.controller import FloodlightController
 from repro.sdn.northbound import (
     MODE_HTTP,

@@ -1,7 +1,5 @@
 """EPC paging model: working sets beyond the EPC share pay for it."""
 
-import pytest
-
 from repro.net.clock import VirtualClock
 from repro.sgx.ecall import ACCOUNT, CostModel, TransitionAccountant
 from repro.sgx.memory import EnclaveMemory

@@ -4,7 +4,6 @@ import dataclasses
 
 import pytest
 
-from repro.crypto.rng import HmacDrbg
 from repro.errors import QuoteError
 from repro.sgx.epid import EpidGroup, EpidSignature, epid_sign, pseudonym
 

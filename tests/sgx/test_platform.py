@@ -1,7 +1,5 @@
 """The platform: registries, QE lifecycle, EPID provisioning state."""
 
-import pytest
-
 from repro.sgx.epid import EpidGroup
 
 

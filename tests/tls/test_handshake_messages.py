@@ -9,7 +9,6 @@ from repro.tls.constants import (
     HS_CERTIFICATE,
     HS_CLIENT_HELLO,
     HS_FINISHED,
-    RANDOM_SIZE,
 )
 
 

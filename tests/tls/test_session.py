@@ -38,6 +38,26 @@ def test_cache_eviction_fifo():
     assert len(cache) == 2
 
 
+def test_cache_overwrite_does_not_evict():
+    """Regression: re-storing an existing session_id at capacity used to
+    evict the FIFO-oldest *other* session even though the cache was not
+    growing.  An overwrite must only replace its own entry."""
+    cache = SessionCache(capacity=2)
+    first = make_session(b"\x01" * 32)
+    second = make_session(b"\x02" * 32)
+    cache.store(first)
+    cache.store(second)
+    replacement = make_session(b"\x02" * 32)
+    cache.store(replacement)  # overwrite at capacity: no eviction
+    assert cache.lookup(b"\x01" * 32) is first
+    assert cache.lookup(b"\x02" * 32) is replacement
+    assert len(cache) == 2
+    # A genuinely new id still evicts the oldest.
+    cache.store(make_session(b"\x03" * 32))
+    assert cache.lookup(b"\x01" * 32) is None
+    assert len(cache) == 2
+
+
 def test_cache_invalidate():
     cache = SessionCache()
     cache.store(make_session(b"\x07" * 32))

@@ -1,10 +1,7 @@
 """Truncation-attack detection: transport EOF without close_notify."""
 
-import pytest
-
 from repro.tls import TlsClient
 
-from tests.tls.conftest import make_world
 
 
 def test_clean_close_is_not_truncation(world, client_config):
