@@ -10,7 +10,7 @@ costs one mutual-auth TLS handshake.
 
 import pytest
 
-from repro.bench.harness import Table, summarize
+from repro.bench.harness import BenchReport, Table, summarize
 from repro.core import Deployment
 
 
@@ -45,9 +45,16 @@ def test_e1_workflow_breakdown(benchmark):
             per_step_samples.setdefault(timing.step, []).append(
                 timing.simulated_seconds
             )
+    report = BenchReport("E1")
     for step, samples in per_step_samples.items():
-        spread.add_row(step, *summarize(samples).row(scale=1e3))
+        summary = summarize(samples)
+        spread.add_row(step, *summary.row(scale=1e3))
+        report.add(step, simulated=summary,
+                   total_seconds=totals.get(step, 0.0))
     spread.show()
+    report.add_table(table)
+    report.add_table(spread)
+    report.write()
 
     print(f"\nclock charges: "
           f"{ {k: round(v * 1000, 3) for k, v in trace.clock_charges.items()} }")

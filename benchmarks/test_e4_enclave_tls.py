@@ -19,13 +19,20 @@ import json
 
 import pytest
 
-from repro.bench.harness import Summary, Table, measure, summarize
+from repro.bench.harness import (
+    BenchReport,
+    Summary,
+    Table,
+    measure,
+    smoke_mode,
+    summarize,
+)
 from repro.core import Deployment
 from repro.crypto.keys import generate_keypair
 from repro.sgx.ecall import CostModel
 
-PAYLOAD_SIZES = [256, 1024, 4096, 16384]
-REQUESTS_PER_POINT = 20
+PAYLOAD_SIZES = [256, 1024] if smoke_mode() else [256, 1024, 4096, 16384]
+REQUESTS_PER_POINT = 5 if smoke_mode() else 20
 
 
 def baseline_trusted_client(deployment):
@@ -74,6 +81,7 @@ def test_e4_enclave_vs_plain_tls(benchmark):
         ["payload_B", "enclave_med_us", "enclave_p90_us", "plain_med_us",
          "plain_p90_us", "overhead_us"],
     )
+    report = BenchReport("E4")
     for size in PAYLOAD_SIZES:
         payload = b"\x20" * size
         enclave_cost = request_cost(deployment, enclave_request, payload)
@@ -82,6 +90,10 @@ def test_e4_enclave_vs_plain_tls(benchmark):
                       enclave_cost.p90 * 1e6, plain_cost.median * 1e6,
                       plain_cost.p90 * 1e6,
                       (enclave_cost.median - plain_cost.median) * 1e6)
+        report.add(f"request_{size}B", simulated=enclave_cost,
+                   payload_bytes=size,
+                   plain_median_seconds=plain_cost.median,
+                   overhead_seconds=enclave_cost.median - plain_cost.median)
         # Transitions are never free — at the median and in the tail.
         assert enclave_cost.median > plain_cost.median
         assert enclave_cost.p90 > plain_cost.p90
@@ -144,6 +156,11 @@ def test_e4_enclave_vs_plain_tls(benchmark):
     sweep.show()
     assert costs == sorted(costs)
     assert costs[-1] > costs[0]
+
+    report.add_table(table)
+    report.add_table(latency_table)
+    report.add_table(sweep)
+    report.write()
 
     # pytest-benchmark wall-time anchor: one enclave request.
     benchmark.pedantic(lambda: enclave_request(b"\x20" * 1024),

@@ -11,13 +11,28 @@ into a metrics registry so tables can also quote histogram percentiles.
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import time
-from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.clock import VirtualClock
 from repro.obs import Histogram, MetricsRegistry
+
+#: Environment variable: directory BENCH_E*.json files are written to.
+#: Unset (the default) means no files are written — local runs stay clean.
+BENCH_JSON_DIR_ENV = "BENCH_JSON_DIR"
+
+#: Environment variable: non-empty/non-zero shrinks benchmark workloads to
+#: CI-smoke size (fewer iterations, same assertions on result *shape*).
+BENCH_SMOKE_ENV = "BENCH_SMOKE"
+
+
+def smoke_mode() -> bool:
+    """True when the bench suite should run in CI-smoke size."""
+    return os.environ.get(BENCH_SMOKE_ENV, "") not in ("", "0")
 
 
 @dataclass
@@ -98,8 +113,10 @@ class Recorder:
         self.registry = registry if registry is not None else MetricsRegistry()
 
     def _histogram(self, name: str, labelnames: Sequence[str]) -> Histogram:
-        if name in self.registry:
-            return self.registry.get(name)
+        # The registry's get-or-create enforces kind *and* labelname
+        # agreement with the first registration.  (The old code returned
+        # any existing metric unchecked, so observing with a different
+        # label set silently mis-filed samples instead of failing.)
         return self.registry.histogram(
             name, f"benchmark samples for {name}",
             labelnames=tuple(labelnames),
@@ -114,6 +131,75 @@ class Recorder:
     def summary(self, name: str, **labels: str) -> dict:
         """The histogram child's summary dict (count/sum/p50/p90/p99)."""
         return self.registry.get(name).labels(**labels).summary()
+
+
+class BenchReport:
+    """Machine-readable benchmark output: one ``BENCH_<id>.json`` per
+    experiment.
+
+    Rows carry named scalar metadata plus optional *simulated* and *wall*
+    :class:`Summary` distributions (the same :func:`summarize` output the
+    text tables quote), so CI can track the perf trajectory numerically::
+
+        report = BenchReport("E11")
+        report.add("ecdsa_verify", wall=summarize(samples),
+                   iterations=len(samples), speedup=3.4)
+        report.add_table(table)          # mirror a text table verbatim
+        report.write()                   # no-op unless BENCH_JSON_DIR set
+
+    Writing is opt-in through the ``BENCH_JSON_DIR`` environment variable
+    (the CI bench-smoke job sets it and uploads the directory as an
+    artifact); local runs leave no files behind unless asked.
+    """
+
+    def __init__(self, experiment: str,
+                 directory: Optional[str] = None) -> None:
+        self.experiment = experiment
+        self._directory = (directory if directory is not None
+                           else os.environ.get(BENCH_JSON_DIR_ENV))
+        self.rows: List[Dict[str, Any]] = []
+        self.tables: List[Dict[str, Any]] = []
+
+    def add(self, name: str, simulated: Optional[Summary] = None,
+            wall: Optional[Summary] = None, **meta: Any) -> None:
+        """Record one named measurement row."""
+        row: Dict[str, Any] = {"name": name}
+        if simulated is not None:
+            row["simulated"] = asdict(simulated)
+        if wall is not None:
+            row["wall"] = asdict(wall)
+        row.update(meta)
+        self.rows.append(row)
+
+    def add_table(self, table: "Table") -> None:
+        """Mirror a rendered text table into the JSON payload."""
+        self.tables.append({
+            "title": table.title,
+            "columns": list(table.columns),
+            "rows": [list(row) for row in table.rows],
+        })
+
+    def payload(self) -> Dict[str, Any]:
+        """The full JSON-serialisable document."""
+        return {
+            "experiment": self.experiment,
+            "smoke": smoke_mode(),
+            "rows": self.rows,
+            "tables": self.tables,
+        }
+
+    def write(self) -> Optional[str]:
+        """Write ``BENCH_<experiment>.json``; returns the path, or ``None``
+        when no output directory is configured."""
+        if not self._directory:
+            return None
+        os.makedirs(self._directory, exist_ok=True)
+        path = os.path.join(self._directory,
+                            f"BENCH_{self.experiment}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
 
 
 class Table:

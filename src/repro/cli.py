@@ -31,6 +31,8 @@ EXPERIMENTS = [
      "benchmarks/test_e9_provisioning_variants.py"),
     ("E10", "full vs. resumed TLS handshakes",
      "benchmarks/test_e10_session_resumption.py"),
+    ("E11", "crypto hot paths: fast-path EC engine vs. reference ladder",
+     "benchmarks/test_e11_crypto_hotpath.py"),
 ]
 
 

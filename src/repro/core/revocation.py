@@ -132,4 +132,10 @@ class ReattestationMonitor:
                 # this IAS instance; that must not mask the (already
                 # completed) local revocation.  Anything else propagates.
                 pass
+            # EPID revocation at IAS changes the verdict future submissions
+            # of this platform's old quotes would get, so any memoised
+            # verdict for the host is now stale.  ``distrust_host`` already
+            # flushed the cache; this keeps the invariant even if the
+            # distrust/IAS ordering ever changes.
+            self._vm.verification_cache.invalidate_subject(host_name)
         return revoked

@@ -32,6 +32,7 @@ from repro.core.provisioning import (
     binding_hash,
     encrypt_bundle,
 )
+from repro.core.verification_cache import VerificationCache
 from repro.crypto.keys import EcPublicKey, generate_keypair
 from repro.crypto.rng import HmacDrbg, default_rng
 from repro.errors import AttestationFailed, RevocationError, VnfSgxError
@@ -74,7 +75,9 @@ class VerificationManager:
                  now: Callable[[], float] = lambda: 0.0,
                  rng: Optional[HmacDrbg] = None,
                  ca_name: str = "Verification-Manager-CA",
-                 clock=None) -> None:
+                 clock=None,
+                 verification_cache: Optional[VerificationCache] = None
+                 ) -> None:
         self._ias = ias_client
         self.policy = policy
         self.appraisal_engine = AppraisalEngine(
@@ -87,6 +90,12 @@ class VerificationManager:
             DistinguishedName(ca_name, "RISE"), now=int(now()), rng=self._rng
         )
         self.audit = ev.AuditLog(now=now)
+        #: Memoised IAS verdicts for byte-identical evidence (retry storms
+        #: re-submit the same quote+nonce).  Revocation paths flush it.
+        self.verification_cache = (
+            verification_cache if verification_cache is not None
+            else VerificationCache(now=now)
+        )
         self._telemetry = None  # set by instrument()
         self._hosts: Dict[str, HostTrustRecord] = {}
         self._aiks: Dict[str, EcPublicKey] = {}
@@ -400,6 +409,9 @@ class VerificationManager:
             raise RevocationError(f"no credentials issued to {vnf_name!r}")
         self.ca.revoke(certificate.serial, int(self._now()), reason)
         self._publish_crl()
+        # A revoked VNF must not keep a memoised "trustworthy" verdict: a
+        # retry replaying its old evidence has to face IAS again.
+        self.verification_cache.invalidate_subject(vnf_name)
         self.audit.record(ev.EVENT_CREDENTIAL_REVOKED, vnf_name,
                           f"serial {certificate.serial} ({reason})")
 
@@ -424,6 +436,14 @@ class VerificationManager:
             revoked.append(vnf_name)
         if revoked:
             self._publish_crl()
+        # Flush memoised IAS verdicts for the host *and* everything that
+        # was enrolled on it (SessionCache.invalidate_where pattern): the
+        # platform's trust state just changed, so byte-identical evidence
+        # must be re-verified, not replayed from cache.
+        doomed = set(revoked) | {host_name}
+        self.verification_cache.invalidate_where(
+            lambda entry: entry.subject in doomed
+        )
         return revoked
 
     def _publish_crl(self) -> None:
@@ -452,14 +472,26 @@ class VerificationManager:
     def _verify_quote_with_ias(self, quote: Quote, nonce: bytes,
                                subject: str) -> None:
         tel = self._telemetry
-        if tel is None:
-            avr = self._ias.verify_quote(quote.to_bytes(), nonce=nonce.hex())
-        else:
-            with tel.span("ias-verification", subject=subject) as span, \
-                    tel.time(tel.ias_verification_seconds.labels()):
-                avr = self._ias.verify_quote(quote.to_bytes(),
-                                             nonce=nonce.hex())
-                span.set_attribute("status", avr.quote_status)
+        quote_bytes = quote.to_bytes()
+        nonce_hex = nonce.hex()
+        avr = self.verification_cache.lookup(quote_bytes, nonce_hex)
+        cached = avr is not None
+        if tel is not None:
+            tel.verification_cache_events.labels(
+                result="hit" if cached else "miss"
+            ).inc()
+        if not cached:
+            if tel is None:
+                avr = self._ias.verify_quote(quote_bytes, nonce=nonce_hex)
+            else:
+                with tel.span("ias-verification", subject=subject) as span, \
+                        tel.time(tel.ias_verification_seconds.labels()):
+                    avr = self._ias.verify_quote(quote_bytes,
+                                                 nonce=nonce_hex)
+                    span.set_attribute("status", avr.quote_status)
+        # The binding / verdict checks run even on a cache hit: they are
+        # cheap, and keeping them unconditional means a cache bug can
+        # never turn a rejected quote into an accepted one.
         if avr.isv_enclave_quote_body != quote.body_bytes().hex():
             raise AttestationFailed(
                 f"{subject}: AVR covers a different quote body"
@@ -470,6 +502,10 @@ class VerificationManager:
             raise AttestationFailed(
                 f"{subject}: IAS verdict {avr.quote_status}"
             )
+        if not cached:
+            # Only verdicts that passed every check above are memoised.
+            self.verification_cache.store(quote_bytes, nonce_hex, subject,
+                                          avr)
 
     def _check_identity(self, quote: Quote, expected_mrenclave: bytes,
                         subject: str, kind: str) -> None:

@@ -25,8 +25,8 @@ from repro.crypto.hmac import hmac_sha256, HmacSha256
 from repro.crypto.hkdf import hkdf, hkdf_extract, hkdf_expand
 from repro.crypto.aes import AES
 from repro.crypto.gcm import AesGcm
-from repro.crypto.ec import P256
-from repro.crypto.ecdsa import ecdsa_sign, ecdsa_verify
+from repro.crypto.ec import EcEngineStats, P256
+from repro.crypto.ecdsa import ecdsa_sign, ecdsa_verify, ecdsa_verify_reference
 from repro.crypto.ecdh import ecdh_shared_secret
 from repro.crypto.rng import HmacDrbg, default_rng
 from repro.crypto.keys import EcPrivateKey, EcPublicKey, generate_keypair
@@ -42,8 +42,10 @@ __all__ = [
     "AES",
     "AesGcm",
     "P256",
+    "EcEngineStats",
     "ecdsa_sign",
     "ecdsa_verify",
+    "ecdsa_verify_reference",
     "ecdh_shared_secret",
     "HmacDrbg",
     "default_rng",

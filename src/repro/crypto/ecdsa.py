@@ -66,7 +66,7 @@ def ecdsa_sign(private_key: int, message: bytes,
         if r == 0:
             digest = sha256(digest)  # degenerate case: re-derive (never hit)
             continue
-        k_inv = pow(k, n - 2, n)
+        k_inv = pow(k, -1, n)  # extended-gcd inverse: ~7x cheaper than k**(n-2)
         s = k_inv * (z + r * private_key) % n
         if s == 0:
             digest = sha256(digest)
@@ -78,6 +78,15 @@ def ecdsa_verify(public_key: Point, message: bytes, signature: Tuple[int, int],
                  curve: _Curve = P256) -> None:
     """Verify ``signature`` over ``message``.
 
+    Hot path: key validation hits the curve's validated-point LRU for
+    repeat verifies against the same key, ``s`` is inverted with the
+    extended-gcd ``pow(s, -1, n)`` (~7x cheaper than the Fermat power for
+    256-bit moduli, identical result), and ``u1*G + u2*Q`` is computed in
+    a single Shamir/Strauss wNAF ladder
+    (:meth:`~repro.crypto.ec._Curve.multiply_dual`) instead of two full
+    scalar multiplications plus an addition.  The accept/reject verdict is
+    bit-identical to :func:`ecdsa_verify_reference`.
+
     Raises:
         InvalidSignature: if the signature does not verify.
     """
@@ -87,11 +96,38 @@ def ecdsa_verify(public_key: Point, message: bytes, signature: Tuple[int, int],
     if not (1 <= r < n and 1 <= s < n):
         raise InvalidSignature("signature component out of range")
     z = _bits2int(sha256(message), n) % n
+    s_inv = pow(s, -1, n)
+    u1 = z * s_inv % n
+    u2 = r * s_inv % n
+    point: Optional[Point] = curve.multiply_dual(u1, u2, public_key)
+    if point is None or point.x % n != r:
+        raise InvalidSignature("ECDSA verification failed")
+
+
+def ecdsa_verify_reference(public_key: Point, message: bytes,
+                           signature: Tuple[int, int],
+                           curve: _Curve = P256) -> None:
+    """The seed verification path, kept as the cross-check oracle.
+
+    Uncached full-order key validation plus two reference double-and-add
+    ladders and a final addition — exactly what :func:`ecdsa_verify` did
+    before the fast engine.  The E11 benchmark and the property suite pin
+    :func:`ecdsa_verify` against this implementation.
+
+    Raises:
+        InvalidSignature: if the signature does not verify.
+    """
+    curve.validate_public_uncached(public_key)
+    r, s = signature
+    n = curve.n
+    if not (1 <= r < n and 1 <= s < n):
+        raise InvalidSignature("signature component out of range")
+    z = _bits2int(sha256(message), n) % n
     s_inv = pow(s, n - 2, n)
     u1 = z * s_inv % n
     u2 = r * s_inv % n
     point: Optional[Point] = curve.add(
-        curve.multiply_generator(u1), curve.multiply(u2, public_key)
+        curve.multiply(u1, curve.generator), curve.multiply(u2, public_key)
     )
     if point is None or point.x % n != r:
         raise InvalidSignature("ECDSA verification failed")

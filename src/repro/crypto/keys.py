@@ -39,8 +39,15 @@ class EcPublicKey:
 
     @classmethod
     def from_bytes(cls, data: bytes, curve: _Curve = P256) -> "EcPublicKey":
-        """Parse an uncompressed SEC1 point."""
-        return cls(curve.decode_point(data), curve)
+        """Parse an uncompressed SEC1 point.
+
+        The raw decode skips the on-curve check (``validate=False``)
+        because the constructor's :meth:`~repro.crypto.ec._Curve.
+        validate_public` performs the full validation anyway — previously
+        the point was checked twice on every parse.  Malformed or
+        off-curve input still raises :class:`~repro.errors.InvalidPoint`.
+        """
+        return cls(curve.decode_point(data, validate=False), curve)
 
     def fingerprint(self) -> bytes:
         """SHA-256 of the SEC1 encoding — a stable key identifier."""

@@ -103,17 +103,34 @@ class SHA256:
             self.update(data)
 
     def update(self, data: bytes) -> None:
-        """Absorb more message bytes."""
+        """Absorb more message bytes.
+
+        ``self._buffer`` only ever holds the sub-block tail (< 64 bytes):
+        full blocks are compressed straight out of a :class:`memoryview`
+        over ``data``, so absorbing a long message in many small updates
+        costs O(len) total instead of the old grow-and-reslice O(len**2).
+        """
         if self._backend == "hashlib":
             self._h.update(data)
             return
         self._length += len(data)
-        self._buffer += data
-        n_blocks = len(self._buffer) // BLOCK_SIZE
-        for i in range(n_blocks):
-            block = self._buffer[i * BLOCK_SIZE:(i + 1) * BLOCK_SIZE]
-            self._state = _compress(self._state, block)
-        self._buffer = self._buffer[n_blocks * BLOCK_SIZE:]
+        offset = 0
+        state = self._state
+        if self._buffer:
+            need = BLOCK_SIZE - len(self._buffer)
+            if len(data) < need:
+                self._buffer += bytes(data)
+                return
+            state = _compress(state, self._buffer + bytes(data[:need]))
+            offset = need
+            self._buffer = b""
+        view = memoryview(data)
+        end = offset + ((len(data) - offset) // BLOCK_SIZE) * BLOCK_SIZE
+        for start in range(offset, end, BLOCK_SIZE):
+            state = _compress(state, view[start:start + BLOCK_SIZE])
+        self._state = state
+        if end < len(data):
+            self._buffer = bytes(view[end:])
 
     def digest(self) -> bytes:
         """Return the 32-byte digest of everything absorbed so far."""

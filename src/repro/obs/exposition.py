@@ -206,6 +206,10 @@ class TelemetryEndpoint:
 
     def _handle_metrics(self, request: HttpRequest) -> HttpResponse:
         self.scrapes_served += 1
+        # Pull-style sync: copy the EC engine's plain-int counters into
+        # the registry right before rendering, so scrapes see fresh
+        # numbers without the crypto hot paths ever touching a registry.
+        self.telemetry.sync_ec_stats()
         body = render_prometheus(self.telemetry.registry).encode("utf-8")
         return HttpResponse(
             200, headers={"content-type": CONTENT_TYPE_TEXT}, body=body

@@ -47,6 +47,8 @@ M_RETRY_ATTEMPTS = "vnf_sgx_retry_attempts_total"
 M_RETRY_GIVEUPS = "vnf_sgx_retry_giveups_total"
 M_RETRY_BACKOFF_SECONDS = "vnf_sgx_retry_backoff_seconds"
 M_WORKFLOW_VNF_FAILURES = "vnf_sgx_workflow_vnf_failures_total"
+M_VERIFICATION_CACHE = "vnf_sgx_verification_cache_total"
+M_EC_OPS = "vnf_sgx_ec_ops"
 
 
 class Telemetry:
@@ -151,6 +153,19 @@ class Telemetry:
             "VNFs whose enrollment failed during a workflow run "
             "(recorded in WorkflowTrace.failed, fleet continues)",
         )
+        self.verification_cache_events = r.counter(
+            M_VERIFICATION_CACHE,
+            "Verification Manager AVR-cache lookups by result "
+            "(hit = IAS round trip skipped for byte-identical evidence)",
+            labelnames=("result",),
+        )
+        self.ec_ops = r.gauge(
+            M_EC_OPS,
+            "Cumulative EC fast-path engine counters (synced from "
+            "repro.crypto.ec on scrape): ladder invocations by kind, "
+            "window-table builds, validation-cache hits/misses",
+            labelnames=("op",),
+        )
 
     # -------------------------------------------------------------- spans
 
@@ -180,6 +195,20 @@ class Telemetry:
         self.tls_handshake_seconds.labels(
             role=role, resumed="true" if resumed else "false"
         ).observe(seconds)
+
+    def sync_ec_stats(self, curve=None) -> None:
+        """Mirror the EC engine's plain-integer counters into ``ec_ops``.
+
+        The crypto layer counts with bare ``int += 1`` so the hot ladders
+        never touch the registry; this pull-style sync (called by the
+        ``/metrics`` endpoint before rendering, or manually) copies the
+        current snapshot into gauge children.  Passing ``curve`` overrides
+        the default P-256 instance (tests use private curves).
+        """
+        if curve is None:
+            from repro.crypto.ec import P256 as curve  # noqa: N813
+        for op, value in curve.stats.snapshot().items():
+            self.ec_ops.labels(op=op).set(value)
 
     # ------------------------------------------------------------ reading
 
@@ -218,6 +247,8 @@ __all__ = [
     "M_ENROLLED_VNFS",
     "M_RETRY_ATTEMPTS",
     "M_RETRY_GIVEUPS",
+    "M_VERIFICATION_CACHE",
+    "M_EC_OPS",
     "M_RETRY_BACKOFF_SECONDS",
     "M_WORKFLOW_VNF_FAILURES",
 ]

@@ -51,6 +51,12 @@ class CertificateAuthority:
         self._next_serial = 1
         self._issued: Dict[int, Certificate] = {}
         self._revoked: List[RevokedEntry] = []
+        # (now, update_interval, revocation count) -> signed CRL.  One
+        # entry is enough: callers re-request the *current* CRL far more
+        # often than time advances or revocations land, and each signing
+        # is a full ECDSA operation.
+        self._crl_cache: Optional[Tuple[Tuple[int, int, int],
+                                        CertificateRevocationList]] = None
         self.certificate = self._self_sign(now, validity)
 
     # ------------------------------------------------------------- internals
@@ -149,10 +155,22 @@ class CertificateAuthority:
 
     def current_crl(self, now: int,
                     update_interval: int = 24 * 3600) -> CertificateRevocationList:
-        """Produce a freshly signed CRL."""
-        return sign_crl(
+        """The current signed CRL.
+
+        Re-signing is skipped when nothing observable changed since the
+        last call (same issuance time, same interval, same revocation
+        count) — every CRL subscriber push used to pay a fresh ECDSA
+        signature for identical bytes.  CRL objects are immutable, so
+        sharing the cached instance is safe.
+        """
+        key = (now, update_interval, len(self._revoked))
+        if self._crl_cache is not None and self._crl_cache[0] == key:
+            return self._crl_cache[1]
+        crl = sign_crl(
             self._key, self.name, now, now + update_interval, self._revoked
         )
+        self._crl_cache = (key, crl)
+        return crl
 
     # ------------------------------------------------------------- queries
 

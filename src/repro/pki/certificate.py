@@ -9,6 +9,7 @@ canonical encoding of the to-be-signed portion.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Tuple
 
 from repro.crypto.keys import EcPublicKey
@@ -113,9 +114,17 @@ class Certificate:
 
     # ------------------------------------------------------------ semantics
 
-    @property
+    @cached_property
     def public_key(self) -> EcPublicKey:
-        """The subject's public key as a validated object."""
+        """The subject's public key as a validated object.
+
+        Cached on the instance: chain validation, CRL signature checks
+        and per-handshake peer validation all re-read the issuer key of
+        the same few :class:`Certificate` objects, and re-parsing (plus
+        re-validating) the SEC1 bytes on every access was a measurable
+        slice of handshake time.  The dataclass is frozen, so the bytes
+        can never change under the cache.
+        """
         return EcPublicKey.from_bytes(self.public_key_bytes)
 
     def fingerprint(self) -> bytes:

@@ -8,6 +8,7 @@ the self-signature proves the requester holds the private key.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Tuple
 
 from repro.crypto.keys import EcPrivateKey, EcPublicKey
@@ -54,10 +55,22 @@ class CertificateSigningRequest:
         )
 
     def verify_proof_of_possession(self) -> None:
-        """Check the CSR is signed by the key it asks to certify."""
+        """Check the CSR is signed by the key it asks to certify.
+
+        Memoised per instance: the enrollment pipeline checks possession
+        twice on the CSR variant (once at the Verification Manager, once
+        inside :meth:`repro.pki.ca.CertificateAuthority.issue_from_csr`),
+        and the CSR is immutable, so the second check is a cached lookup.
+        A failed verification raises and is *not* cached.
+        """
+        self._proof_of_possession_ok  # noqa: B018 — evaluate for effect
+
+    @cached_property
+    def _proof_of_possession_ok(self) -> bool:
         EcPublicKey.from_bytes(self.public_key_bytes).verify(
             self.tbs_bytes(), self.signature
         )
+        return True
 
 
 def create_csr(key: EcPrivateKey, subject: DistinguishedName,

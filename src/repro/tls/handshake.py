@@ -13,7 +13,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
-from repro.crypto.sha256 import sha256
+from repro.crypto.sha256 import SHA256
 from repro.errors import TlsError
 from repro.pki.certificate import Certificate
 from repro.pki.name import DistinguishedName
@@ -333,6 +333,11 @@ class HandshakeBuffer:
     def __init__(self) -> None:
         self._pending = bytearray()
         self._transcript = bytearray()
+        # Running hash over the transcript, updated as messages land, so
+        # transcript_hash() is a cheap copy+finalise instead of re-hashing
+        # the whole transcript from byte zero on every call (the paper's
+        # mutually-authenticated handshake asks for it five times).
+        self._hash = SHA256()
         # Transcript snapshots taken just before a CertificateVerify or
         # Finished was appended: {msg_type: (hash, raw bytes)}.  Verifying
         # those messages needs the transcript *excluding* themselves.
@@ -341,6 +346,7 @@ class HandshakeBuffer:
     def append_sent(self, framed: bytes) -> bytes:
         """Record an outbound message in the transcript; returns it."""
         self._transcript += framed
+        self._hash.update(framed)
         return framed
 
     def feed(self, data: bytes) -> List[Tuple[int, object]]:
@@ -359,14 +365,18 @@ class HandshakeBuffer:
                 raise TlsError(f"unknown handshake type {msg_type}")
             if msg_type in (HS_CERTIFICATE_VERIFY, HS_FINISHED):
                 snapshot = bytes(self._transcript)
-                self.snapshot_before[msg_type] = (sha256(snapshot), snapshot)
+                self.snapshot_before[msg_type] = (
+                    self._hash.copy().digest(), snapshot
+                )
             self._transcript += framed
+            self._hash.update(framed)
             messages.append((msg_type, decoder(framed[4:])))
         return messages
 
     def transcript_hash(self) -> bytes:
-        """SHA-256 over the transcript so far."""
-        return sha256(bytes(self._transcript))
+        """SHA-256 over the transcript so far (incremental; finalising a
+        copy leaves the running state reusable)."""
+        return self._hash.copy().digest()
 
     def transcript_bytes(self) -> bytes:
         """The raw transcript (CertificateVerify signs this)."""

@@ -1,12 +1,18 @@
 """The benchmark harness: tables, measurement, workload generators."""
 
+import json
+
 import pytest
 
 from repro.bench.harness import (
+    BENCH_JSON_DIR_ENV,
+    BENCH_SMOKE_ENV,
+    BenchReport,
     Recorder,
     Summary,
     Table,
     measure,
+    smoke_mode,
     summarize,
 )
 from repro.bench.workloads import (
@@ -103,6 +109,75 @@ def test_recorder_accepts_external_registry():
     recorder = Recorder(registry)
     recorder.observe("probe_seconds", 1.0)
     assert "probe_seconds" in registry
+
+
+def test_recorder_rejects_labelname_mismatch():
+    # The registry's get-or-create enforces labelname agreement; observing
+    # an existing series with a different label set must fail loudly, not
+    # silently mis-file the sample (the old behaviour).
+    from repro.errors import ObservabilityError
+
+    recorder = Recorder()
+    recorder.observe("mismatch_seconds", 0.1, placement="enclave")
+    with pytest.raises(ObservabilityError):
+        recorder.observe("mismatch_seconds", 0.2, link="wan")
+    with pytest.raises(ObservabilityError):
+        recorder.observe("mismatch_seconds", 0.3)  # unlabelled vs labelled
+    # The original series is intact.
+    assert recorder.summary("mismatch_seconds",
+                            placement="enclave")["count"] == 1
+
+
+def test_bench_report_noop_without_directory(monkeypatch):
+    monkeypatch.delenv(BENCH_JSON_DIR_ENV, raising=False)
+    report = BenchReport("EX")
+    report.add("probe", simulated=summarize([1.0]))
+    assert report.write() is None
+
+
+def test_bench_report_writes_json(tmp_path, monkeypatch):
+    monkeypatch.setenv(BENCH_JSON_DIR_ENV, str(tmp_path / "out"))
+    monkeypatch.setenv(BENCH_SMOKE_ENV, "1")
+    report = BenchReport("EX")
+    report.add("ecdsa_verify", simulated=summarize([0.5, 1.5]),
+               wall=summarize([0.25]), speedup=3.4)
+    table = Table("demo", ["name", "value"])
+    table.add_row("alpha", 1)
+    report.add_table(table)
+
+    path = report.write()
+    assert path is not None and path.endswith("BENCH_EX.json")
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload == report.payload()
+    assert payload["experiment"] == "EX"
+    assert payload["smoke"] is True
+    row = payload["rows"][0]
+    assert row["name"] == "ecdsa_verify"
+    assert row["speedup"] == 3.4
+    assert row["simulated"]["median"] == 0.5  # nearest-rank lower median
+    assert row["wall"]["count"] == 1
+    assert payload["tables"] == [
+        {"title": "demo", "columns": ["name", "value"],
+         "rows": [["alpha", 1]]}
+    ]
+
+
+def test_bench_report_explicit_directory_beats_env(tmp_path, monkeypatch):
+    monkeypatch.delenv(BENCH_JSON_DIR_ENV, raising=False)
+    report = BenchReport("E0", directory=str(tmp_path))
+    report.add("probe", count=3)
+    path = report.write()
+    assert path == str(tmp_path / "BENCH_E0.json")
+
+
+def test_smoke_mode_parsing(monkeypatch):
+    for value, expected in (("", False), ("0", False), ("1", True),
+                            ("yes", True)):
+        monkeypatch.setenv(BENCH_SMOKE_ENV, value)
+        assert smoke_mode() is expected
+    monkeypatch.delenv(BENCH_SMOKE_ENV)
+    assert smoke_mode() is False
 
 
 def test_synthetic_files_distinct_and_sized():

@@ -87,5 +87,5 @@ def test_metrics_traces_mode_emits_json():
 def test_experiments_listing():
     code, output = run_cli("experiments")
     assert code == 0
-    for exp_id in ("E1", "E4", "E7", "E8"):
+    for exp_id in ("E1", "E4", "E7", "E8", "E11"):
         assert exp_id in output

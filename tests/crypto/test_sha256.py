@@ -59,3 +59,26 @@ def test_unknown_backend_rejected():
 def test_backend_agreement_at_padding_boundaries(length):
     message = b"\x5a" * length
     assert sha256(message, backend="pure") == sha256(message, backend="hashlib")
+
+
+def test_streaming_buffer_holds_only_the_subblock_tail():
+    # The linear-time update keeps at most one partial block buffered:
+    # full blocks are compressed straight out of the incoming data, so a
+    # long message absorbed in many small updates never accumulates.
+    h = SHA256(backend="pure")
+    for i in range(300):
+        h.update(bytes([i & 0xFF]) * 7)   # 2100 bytes, 7 at a time
+        assert len(h._buffer) < SHA256.block_size
+    reference = sha256(
+        b"".join(bytes([i & 0xFF]) * 7 for i in range(300)), backend="pure"
+    )
+    assert h.digest() == reference
+
+
+@pytest.mark.parametrize("chunk_size", [1, 63, 64, 65, 256])
+def test_streaming_chunk_sizes_agree(chunk_size):
+    message = bytes(range(256)) * 5
+    h = SHA256(backend="pure")
+    for start in range(0, len(message), chunk_size):
+        h.update(message[start:start + chunk_size])
+    assert h.digest() == sha256(message, backend="hashlib")
