@@ -1,0 +1,152 @@
+"""E12 — fleet enrolment: serial loop vs. worker-pool scheduler.
+
+The serial Figure 1 loop pays two per-VNF costs a fleet only owes per
+*run*: every enrollment re-attests the container host (fresh quote, full
+IAS round trip, IML appraisal over every entry) and every IAS
+verification dials a fresh TLS connection.  The fleet scheduler
+(:mod:`repro.core.fleet`) attests each host once (single-flight) and
+pipelines all verifications over one pooled connection, so wall-clock
+per enrolled VNF drops as the fleet grows.
+
+Measured here with an IML large enough that appraisal dominates (the
+regime experiment E2 shows real hosts live in): pooled enrollment of the
+full fleet must finish in at most ``SPEEDUP_GATE`` of the serial loop's
+wall time at the largest size — and, crucially, issue **byte-identical
+certificates** (reserved serials + per-VNF DRBGs + RFC 6979 make worker
+interleaving unobservable in the credentials).
+"""
+
+import gc
+import time
+
+import pytest
+
+from repro.bench.harness import BenchReport, Table, smoke_mode
+from repro.bench.workloads import deployment_with_iml_size
+from repro.core import events as ev
+
+#: Fleet sizes (number of VNFs).  The acceptance gate applies at the
+#: largest size; smaller sizes are reported for the scaling trend.
+SIZES = (8,) if smoke_mode() else (8, 32)
+#: IML entries per host — appraisal work each *serial* enrollment repeats.
+IML_ENTRIES = 600 if smoke_mode() else 2500
+ROUNDS = 2          # best-of rounds (fresh deployment each — enrollment
+                    # is stateful, so runs cannot be repeated in place)
+WORKERS = 8
+#: Pooled wall time must be at most this fraction of serial wall time at
+#: the largest fleet size (full mode); smoke mode uses a lenient gate
+#: since it runs tiny fleets on loaded CI machines.
+SPEEDUP_GATE = 0.9 if smoke_mode() else 0.5
+
+
+def _build(vnf_count):
+    return deployment_with_iml_size(IML_ENTRIES, seed=b"e12-fleet",
+                                    vnf_count=vnf_count)
+
+
+def _timed(run, dep):
+    """Wall/sim time of one run with GC parked outside the measurement."""
+    gc.collect()
+    gc.disable()
+    try:
+        sim_start = dep.clock.now()
+        start = time.perf_counter()
+        result = run(dep)
+        wall = time.perf_counter() - start
+        sim = dep.clock.now() - sim_start
+    finally:
+        gc.enable()
+    return result, wall, sim
+
+
+def _certs(dep):
+    return {name: dep.vm.issued_certificate(name).to_bytes()
+            for name in dep.vnf_names}
+
+
+@pytest.mark.experiment("E12")
+def test_e12_fleet_enrollment():
+    report = BenchReport("E12")
+    table = Table(
+        f"E12: serial loop vs. fleet scheduler "
+        f"(workers={WORKERS}, IML={IML_ENTRIES})",
+        ["vnfs", "serial_wall_ms", "fleet_wall_ms", "wall_ratio",
+         "serial_sim_ms", "fleet_sim_ms"],
+    )
+
+    ratios = {}
+    for size in SIZES:
+        serial_wall = fleet_wall = float("inf")
+        serial_sim = fleet_sim = float("inf")
+        serial_certs = fleet_certs = None
+        serial_attests = fleet_attests = None
+        for _ in range(ROUNDS):
+            dep = _build(size)
+            trace, wall, sim = _timed(
+                lambda d: d.run_workflow(), dep
+            )
+            assert trace.fully_succeeded, trace.failed
+            serial_wall, serial_sim = (min(serial_wall, wall),
+                                       min(serial_sim, sim))
+            serial_certs = _certs(dep)
+            serial_attests = len(
+                dep.vm.audit.events(kind=ev.EVENT_HOST_ATTESTED)
+            )
+
+            dep = _build(size)
+            fleet, wall, sim = _timed(
+                lambda d: d.enroll_fleet(workers=WORKERS), dep
+            )
+            assert fleet.fully_succeeded, fleet.failed
+            fleet_wall, fleet_sim = (min(fleet_wall, wall),
+                                     min(fleet_sim, sim))
+            fleet_certs = _certs(dep)
+            fleet_attests = len(
+                dep.vm.audit.events(kind=ev.EVENT_HOST_ATTESTED)
+            )
+            # One pooled connection served the whole fleet.
+            assert fleet.ias_connects == 1
+            assert fleet.ias_reused_exchanges == size
+
+        # Byte-identity: worker interleaving must be unobservable in the
+        # issued credentials (serials, keys, signatures — everything).
+        assert fleet_certs == serial_certs
+
+        # The amortization the speedup comes from, stated exactly: the
+        # serial loop attested the host once per VNF, the fleet once.
+        assert serial_attests == size
+        assert fleet_attests == 1
+
+        ratio = fleet_wall / serial_wall
+        ratios[size] = ratio
+        table.add_row(size, serial_wall * 1000, fleet_wall * 1000, ratio,
+                      serial_sim * 1000, fleet_sim * 1000)
+        report.add(
+            f"fleet-{size}", vnfs=size, workers=WORKERS,
+            iml_entries=IML_ENTRIES,
+            serial_wall_seconds=serial_wall,
+            fleet_wall_seconds=fleet_wall,
+            wall_ratio=ratio,
+            serial_sim_seconds=serial_sim,
+            fleet_sim_seconds=fleet_sim,
+        )
+
+        # Simulated time falls too: N-1 host attestations' worth of
+        # network and appraisal charges disappear from the virtual clock.
+        assert fleet_sim < serial_sim
+
+    table.show()
+    report.add_table(table)
+    report.write()
+
+    # Acceptance gate at the largest fleet (like E11's 3x crypto gate).
+    largest = max(SIZES)
+    assert ratios[largest] <= SPEEDUP_GATE, (
+        f"fleet of {largest} VNFs: pooled wall time is "
+        f"{ratios[largest]:.2f}x the serial loop's "
+        f"(gate: <= {SPEEDUP_GATE}x)"
+    )
+    if len(SIZES) > 1:
+        # Scaling trend: amortization improves (or holds) as the fleet
+        # grows — the per-run costs are spread over more VNFs.
+        assert ratios[max(SIZES)] <= ratios[min(SIZES)] * 1.15

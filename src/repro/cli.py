@@ -5,6 +5,7 @@ Examples::
     python -m repro demo --vnfs 2 --tpm
     python -m repro attest --tamper /usr/bin/dockerd
     python -m repro enroll --vnfs 3 --csr
+    python -m repro fleet --vnfs 16 --workers 8
     python -m repro metrics --vnfs 2
     python -m repro experiments
 """
@@ -33,6 +34,8 @@ EXPERIMENTS = [
      "benchmarks/test_e10_session_resumption.py"),
     ("E11", "crypto hot paths: fast-path EC engine vs. reference ladder",
      "benchmarks/test_e11_crypto_hotpath.py"),
+    ("E12", "fleet enrolment: serial loop vs. worker-pool scheduler",
+     "benchmarks/test_e12_fleet.py"),
 ]
 
 
@@ -64,6 +67,17 @@ def _build_parser() -> argparse.ArgumentParser:
     enroll.add_argument("--csr", action="store_true",
                         help="use the CSR variant (keys generated inside "
                              "the enclave)")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="enrol every VNF through the worker-pool scheduler "
+             "(single-flight host attestation, pooled IAS connection)")
+    _common_flags(fleet)
+    fleet.add_argument("--workers", type=int, default=4,
+                       help="worker-pool width (default 4)")
+    fleet.add_argument("--no-pooled-ias", action="store_true",
+                       help="dial IAS per verification instead of reusing "
+                            "one connection")
 
     metrics = sub.add_parser(
         "metrics",
@@ -165,6 +179,33 @@ def _cmd_enroll(args, out) -> int:
     return 0
 
 
+def _cmd_fleet(args, out) -> int:
+    deployment = _build_deployment(args)
+    report = deployment.enroll_fleet(
+        workers=args.workers, pooled_ias=not args.no_pooled_ias,
+    )
+    for host_name, timing in report.host_attestations.items():
+        out.write(
+            f"{host_name}: attested once for the fleet "
+            f"(sim={timing.simulated_seconds * 1000:.3f} ms)\n"
+        )
+    for vnf_name, result in report.results.items():
+        if result.succeeded:
+            out.write(
+                f"{vnf_name}: serial {result.certificate_serial} "
+                f"on {result.host_name}\n"
+            )
+        else:
+            out.write(f"{vnf_name}: FAILED — {result.error}\n")
+    out.write(
+        f"fleet of {len(report.results)} VNF(s), workers={report.workers}, "
+        f"IAS connects={report.ias_connects} "
+        f"(+{report.ias_reused_exchanges} reused), "
+        f"sim={report.simulated_seconds * 1000:.3f} ms\n"
+    )
+    return 0 if report.fully_succeeded else 1
+
+
 def _cmd_metrics(args, out) -> int:
     deployment = _build_deployment(args)
     deployment.enable_telemetry()
@@ -193,6 +234,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "demo": _cmd_demo,
         "attest": _cmd_attest,
         "enroll": _cmd_enroll,
+        "fleet": _cmd_fleet,
         "metrics": _cmd_metrics,
         "experiments": _cmd_experiments,
     }

@@ -15,6 +15,9 @@ Components, mapping one-to-one onto Figure 1 of the paper:
 - :mod:`repro.core.appraisal` — expected-value appraisal of the IML,
   optionally TPM-rooted.
 - :mod:`repro.core.enrollment` — the use-case-2 state machine.
+- :mod:`repro.core.fleet` — the worker-pool scheduler that enrolls many
+  VNFs concurrently (single-flight host attestation, pooled IAS
+  connection, deterministic credentials).
 - :mod:`repro.core.revocation` — credential/platform revocation.
 - :mod:`repro.core.workflow` — the executable Figure 1 deployment.
 - :mod:`repro.core.events` — the audit log.
@@ -25,6 +28,12 @@ from repro.core.attestation_enclave import AttestationEnclave
 from repro.core.credential_enclave import CredentialEnclave, EnclaveBackedClient
 from repro.core.enrollment import EnrollmentSession
 from repro.core.events import AuditLog, AuditEvent
+from repro.core.fleet import (
+    FleetReport,
+    FleetResult,
+    FleetScheduler,
+    PooledIasClient,
+)
 from repro.core.host_agent import HostAgent, HostAgentClient
 from repro.core.policy import DeploymentPolicy
 from repro.core.provisioning import CredentialBundle
@@ -41,6 +50,10 @@ __all__ = [
     "EnrollmentSession",
     "AuditLog",
     "AuditEvent",
+    "FleetReport",
+    "FleetResult",
+    "FleetScheduler",
+    "PooledIasClient",
     "HostAgent",
     "HostAgentClient",
     "DeploymentPolicy",

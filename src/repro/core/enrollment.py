@@ -86,6 +86,10 @@ class EnrollmentSession:
     state: str = STATE_INIT
     timings: List[StepTiming] = field(default_factory=list)
     certificate_serial: Optional[int] = None
+    #: A serial pre-reserved via ``vm.ca.reserve_serial()``; the fleet
+    #: scheduler reserves serials in submission order so pooled workers
+    #: issue byte-identical certificates regardless of interleaving.
+    reserved_serial: Optional[int] = None
 
     def _attempt(self, step: str, fn: Callable[[], object]) -> object:
         if self.retry_policy is None:
@@ -139,12 +143,23 @@ class EnrollmentSession:
         """Steps 3-5: VNF attestation, credential issue + provisioning."""
         if self.state != STATE_HOST_ATTESTED:
             raise EnrollmentError(f"provision in state {self.state}")
+        def issue_and_provision():
+            serial = self.reserved_serial
+            if serial is not None and self.vm.ca.is_issued(serial):
+                # A previous attempt consumed the reservation before
+                # failing downstream of issuance; re-using it would trip
+                # the CA's double-issuance guard, so fall back to a
+                # fresh allocation (the faulted path has already
+                # diverged from the serial schedule anyway).
+                serial = None
+            return self.vm.enroll_vnf(
+                self.agent, self.host_name, self.vnf_name,
+                self.controller_address, serial=serial,
+            )
+
         certificate = self._timed(
             "vnf-attestation+provisioning (steps 3-5)",
-            lambda: self.vm.enroll_vnf(
-                self.agent, self.host_name, self.vnf_name,
-                self.controller_address,
-            ),
+            issue_and_provision,
         )
         self.certificate_serial = certificate.serial
         self.state = STATE_VNF_ATTESTED_AND_PROVISIONED

@@ -8,6 +8,7 @@ credentials.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -39,18 +40,27 @@ class AuditLog:
     An optional ``observer`` callable is invoked with every recorded
     event; the telemetry layer uses it to keep the
     ``vnf_sgx_audit_events_total`` counter in lock-step with the log.
+
+    Thread-safe: concurrent fleet enrollments record trust decisions
+    from many worker threads; appends run under an internal lock and
+    query methods snapshot the list before filtering (see
+    ``docs/CONCURRENCY.md``).  The observer is invoked *outside* the
+    lock — telemetry counters have their own locks, and calling out
+    under ours would invert the lock ordering.
     """
 
     def __init__(self, now: Callable[[], float] = lambda: 0.0) -> None:
         self._now = now
         self._events: List[AuditEvent] = []
+        self._lock = threading.Lock()
         self.observer: Optional[Callable[[AuditEvent], None]] = None
 
     def record(self, kind: str, subject: str, details: str = "") -> AuditEvent:
         """Append an event stamped with the current simulated time."""
         event = AuditEvent(kind=kind, subject=subject,
                            timestamp=self._now(), details=details)
-        self._events.append(event)
+        with self._lock:
+            self._events.append(event)
         if self.observer is not None:
             self.observer(event)
         return event
@@ -58,19 +68,23 @@ class AuditLog:
     def events(self, kind: Optional[str] = None,
                subject: Optional[str] = None) -> List[AuditEvent]:
         """Events, optionally filtered by kind and/or subject."""
-        out = self._events
+        with self._lock:
+            out: List[AuditEvent] = list(self._events)
         if kind is not None:
             out = [e for e in out if e.kind == kind]
         if subject is not None:
             out = [e for e in out if e.subject == subject]
-        return list(out)
+        return out
 
     def counts(self) -> Dict[str, int]:
         """Event counts by kind."""
+        with self._lock:
+            snapshot = list(self._events)
         counts: Dict[str, int] = {}
-        for event in self._events:
+        for event in snapshot:
             counts[event.kind] = counts.get(event.kind, 0) + 1
         return counts
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)

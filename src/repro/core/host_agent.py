@@ -12,6 +12,7 @@ themselves established via attestation.)
 
 from __future__ import annotations
 
+import threading
 from typing import Dict
 
 from repro.core.attestation_enclave import AttestationEnclave, QuotedEvidence
@@ -118,6 +119,11 @@ class HostAgentClient(RetryingMixin):
     transient transport faults (refused connects, mid-stream drops):
     each re-attempt re-establishes the channel and re-sends the request.
     Application-level agent errors (``VnfSgxError``) are never retried.
+
+    Thread-safe: the persistent channel is a lockstep request/response
+    rail, so concurrent fleet workers sharing one stub serialize *whole*
+    exchanges under an internal lock — exactly the sharing rule
+    :mod:`repro.net.channel` documents (see ``docs/CONCURRENCY.md``).
     """
 
     def __init__(self, network: Network, address: Address,
@@ -126,6 +132,7 @@ class HostAgentClient(RetryingMixin):
         self._address = address
         self._source_host = source_host
         self._channel = None
+        self._exchange_lock = threading.RLock()
 
     @property
     def address(self) -> Address:
@@ -151,15 +158,16 @@ class HostAgentClient(RetryingMixin):
     def _exchange(self, payload: bytes) -> bytes:
         from repro.net.framing import recv_frame
 
-        channel = self._ensure_channel()
-        try:
-            send_frame(channel, payload)
-            return recv_frame(channel)
-        except NetError:
-            # The channel is suspect (dropped mid-stream, half-closed,
-            # out of lockstep): drop it so a retry starts clean.
-            self._reset_channel()
-            raise
+        with self._exchange_lock:
+            channel = self._ensure_channel()
+            try:
+                send_frame(channel, payload)
+                return recv_frame(channel)
+            except NetError:
+                # The channel is suspect (dropped mid-stream, half-closed,
+                # out of lockstep): drop it so a retry starts clean.
+                self._reset_channel()
+                raise
 
     def _call(self, request: list):
         payload = der.encode(request)

@@ -21,10 +21,16 @@ revocation" rule the TLS resumption cache follows.
 The cache is bounded (LRU) and optionally time-limited via ``max_age``
 (simulated seconds), so stale verdicts age out even without an explicit
 revocation event.
+
+All operations (lookup-and-promote, store-and-evict, predicate sweeps,
+hit/miss accounting) run under one internal lock so concurrent fleet
+enrollments never tear the LRU order or lose an eviction; see
+``docs/CONCURRENCY.md``.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -71,6 +77,7 @@ class VerificationCache:
         self.max_age = max_age
         self._now = now
         self._entries: "OrderedDict[bytes, CachedVerdict]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -83,26 +90,29 @@ class VerificationCache:
         Expired entries (``max_age``) are dropped on access.
         """
         key = evidence_key(quote_bytes, nonce)
-        entry = self._entries.get(key)
-        if entry is not None and self.max_age is not None \
-                and self._now() - entry.stored_at > self.max_age:
-            del self._entries[key]
-            entry = None
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry.avr
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self.max_age is not None \
+                    and self._now() - entry.stored_at > self.max_age:
+                del self._entries[key]
+                entry = None
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.avr
 
     def store(self, quote_bytes: bytes, nonce: str, subject: str,
               avr: AttestationVerificationReport) -> None:
         """Memoise a *successful* verdict; evicts LRU-oldest when full."""
         key = evidence_key(quote_bytes, nonce)
-        if key not in self._entries and len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-        self._entries[key] = CachedVerdict(subject, avr, self._now())
-        self._entries.move_to_end(key)
+        with self._lock:
+            if (key not in self._entries
+                    and len(self._entries) >= self.capacity):
+                self._entries.popitem(last=False)
+            self._entries[key] = CachedVerdict(subject, avr, self._now())
+            self._entries.move_to_end(key)
 
     # ----------------------------------------------------------- eviction
 
@@ -122,15 +132,18 @@ class VerificationCache:
         Same pattern as :meth:`repro.tls.session.SessionCache.
         invalidate_where`: the predicate sees the full cached entry.
         """
-        doomed = [key for key, entry in self._entries.items()
-                  if predicate(entry)]
-        for key in doomed:
-            del self._entries[key]
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key, entry in self._entries.items()
+                      if predicate(entry)]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     def clear(self) -> None:
         """Drop everything (hit/miss counters survive)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -19,6 +19,7 @@ Responsibilities implemented here, keyed to Figure 1:
 
 from __future__ import annotations
 
+import threading
 from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional
 
@@ -97,6 +98,18 @@ class VerificationManager:
             else VerificationCache(now=now)
         )
         self._telemetry = None  # set by instrument()
+        #: Guards the trust-state maps below plus the revocation paths.
+        #: Lock ordering: the VM lock may be taken *before* the CA lock
+        #: and the cache locks, never after (``docs/CONCURRENCY.md``).
+        self._lock = threading.RLock()
+        #: Per-VNF credential key derivation.  Each VNF's key pair (and
+        #: bundle-encryption randomness) comes from a dedicated DRBG
+        #: seeded from one root draw, so the credentials a VNF receives
+        #: do not depend on how many *other* enrollments interleaved
+        #: their draws on the shared RNG — a serial loop and a worker
+        #: pool produce byte-identical certificates.
+        self._credential_root = self._rng.random_bytes(32)
+        self._credential_rngs: Dict[str, HmacDrbg] = {}
         self._hosts: Dict[str, HostTrustRecord] = {}
         self._aiks: Dict[str, EcPublicKey] = {}
         self._issued: Dict[str, Certificate] = {}  # vnf name -> current cert
@@ -119,6 +132,18 @@ class VerificationManager:
             telemetry.observe_audit if telemetry is not None else None
         )
 
+    def swap_ias_client(self, client: IasClient) -> IasClient:
+        """Install a different IAS client; returns the previous one.
+
+        The fleet scheduler swaps in a
+        :class:`repro.core.fleet.PooledIasClient` (one persistent IAS
+        connection shared across verifications) for the duration of a
+        pooled run, then restores the original.
+        """
+        with self._lock:
+            previous, self._ias = self._ias, client
+            return previous
+
     # --------------------------------------------------------------- trust
 
     def controller_truststore(self) -> Truststore:
@@ -129,12 +154,30 @@ class VerificationManager:
     def register_host_tpm(self, host_name: str,
                           aik_public: EcPublicKey) -> None:
         """Out-of-band AIK registration during host onboarding."""
-        self._aiks[host_name] = aik_public
+        with self._lock:
+            self._aiks[host_name] = aik_public
 
     def host_trusted(self, host_name: str) -> bool:
         """Is ``host_name`` currently appraised as trustworthy?"""
-        record = self._hosts.get(host_name)
-        return record is not None and record.trusted
+        with self._lock:
+            record = self._hosts.get(host_name)
+            return record is not None and record.trusted
+
+    def _credential_rng(self, vnf_name: str) -> HmacDrbg:
+        """The DRBG that generates ``vnf_name``'s credential material.
+
+        Cached per VNF so a re-enrollment *continues* the stream (and
+        therefore yields a fresh key) instead of replaying the old one.
+        """
+        with self._lock:
+            rng = self._credential_rngs.get(vnf_name)
+            if rng is None:
+                rng = HmacDrbg(
+                    self._credential_root,
+                    personalization=b"credential:" + vnf_name.encode("utf-8"),
+                )
+                self._credential_rngs[vnf_name] = rng
+            return rng
 
     # ------------------------------------------------------- steps 1 and 2
 
@@ -194,9 +237,10 @@ class VerificationManager:
                 result.entries_checked * self.APPRAISAL_SECONDS_PER_ENTRY,
                 "appraisal-compute",
             )
-        self._hosts[host_name] = HostTrustRecord(
-            host_name, self._now(), result
-        )
+        with self._lock:
+            self._hosts[host_name] = HostTrustRecord(
+                host_name, self._now(), result
+            )
         if result.trustworthy:
             self.audit.record(ev.EVENT_HOST_ATTESTED, host_name,
                               f"{result.entries_checked} IML entries")
@@ -251,40 +295,53 @@ class VerificationManager:
 
     def enroll_vnf(self, agent: HostAgentClient, host_name: str,
                    vnf_name: str, controller_address: str,
-                   server_anchors: Optional[Truststore] = None) -> Certificate:
+                   server_anchors: Optional[Truststore] = None,
+                   serial: Optional[int] = None) -> Certificate:
         """Attest, issue, and provision credentials for one VNF.
 
         Returns the issued client certificate.  The private key is
         generated here, delivered encrypted, and never stored by the VM.
+
+        Args:
+            serial: a certificate serial previously obtained from
+                :meth:`repro.pki.ca.CertificateAuthority.reserve_serial`;
+                ``None`` allocates the next one.  Fleet schedulers reserve
+                serials in submission order so pooled and serial
+                enrollments issue byte-identical certificates.
         """
         tel = self._telemetry
         if tel is None:
             return self._enroll_vnf(agent, host_name, vnf_name,
-                                    controller_address, server_anchors)
+                                    controller_address, server_anchors,
+                                    serial=serial)
         with tel.span("credential-provisioning", vnf=vnf_name,
                       variant="delivery"), \
                 tel.time(tel.provisioning_seconds.labels(variant="delivery")):
             certificate = self._enroll_vnf(agent, host_name, vnf_name,
-                                           controller_address, server_anchors)
+                                           controller_address, server_anchors,
+                                           serial=serial)
         tel.credentials_issued.labels(variant="delivery").inc()
         tel.enrolled_vnfs.set(len(self._issued))
         return certificate
 
     def _enroll_vnf(self, agent: HostAgentClient, host_name: str,
                     vnf_name: str, controller_address: str,
-                    server_anchors: Optional[Truststore] = None
+                    server_anchors: Optional[Truststore] = None,
+                    serial: Optional[int] = None
                     ) -> Certificate:
         delivery_public = self.attest_vnf(agent, host_name, vnf_name)
+        credential_rng = self._credential_rng(vnf_name)
 
         with (self._telemetry.span("credential-issuance", vnf=vnf_name)
               if self._telemetry is not None else nullcontext()):
-            client_key = generate_keypair(self._rng)
+            client_key = generate_keypair(credential_rng)
             certificate = self.ca.issue(
                 subject=DistinguishedName(vnf_name, "vnf"),
                 public_key_bytes=client_key.public.to_bytes(),
                 now=int(self._now()),
                 validity=self.policy.credential_validity,
                 key_usage=(KEY_USAGE_CLIENT_AUTH,),
+                serial=serial,
             )
         self.audit.record(ev.EVENT_CREDENTIAL_ISSUED, vnf_name,
                           f"serial {certificate.serial}")
@@ -297,21 +354,23 @@ class VerificationManager:
             ),
             controller_address=controller_address,
         )
-        message = encrypt_bundle(delivery_public, bundle, self._rng)
+        message = encrypt_bundle(delivery_public, bundle, credential_rng)
         subject = agent.complete_provisioning(vnf_name, message.to_bytes())
         if subject != vnf_name:
             raise VnfSgxError(
                 f"provisioning confirmation mismatch: {subject!r}"
             )
-        self._issued[vnf_name] = certificate
-        self._vnf_host[vnf_name] = host_name
+        with self._lock:
+            self._issued[vnf_name] = certificate
+            self._vnf_host[vnf_name] = host_name
         self.audit.record(ev.EVENT_CREDENTIAL_PROVISIONED, vnf_name,
                           f"serial {certificate.serial}")
         return certificate
 
     def enroll_vnf_csr(self, agent: HostAgentClient, host_name: str,
                        vnf_name: str, controller_address: str,
-                       server_anchors: Optional[Truststore] = None
+                       server_anchors: Optional[Truststore] = None,
+                       serial: Optional[int] = None
                        ) -> Certificate:
         """The CSR provisioning variant: the key pair is generated *inside*
         the enclave and never exists anywhere else — not even at the VM.
@@ -324,13 +383,14 @@ class VerificationManager:
         tel = self._telemetry
         if tel is None:
             return self._enroll_vnf_csr(agent, host_name, vnf_name,
-                                        controller_address, server_anchors)
+                                        controller_address, server_anchors,
+                                        serial=serial)
         with tel.span("credential-provisioning", vnf=vnf_name,
                       variant="csr"), \
                 tel.time(tel.provisioning_seconds.labels(variant="csr")):
             certificate = self._enroll_vnf_csr(
                 agent, host_name, vnf_name, controller_address,
-                server_anchors,
+                server_anchors, serial=serial,
             )
         tel.credentials_issued.labels(variant="csr").inc()
         tel.enrolled_vnfs.set(len(self._issued))
@@ -338,7 +398,8 @@ class VerificationManager:
 
     def _enroll_vnf_csr(self, agent: HostAgentClient, host_name: str,
                         vnf_name: str, controller_address: str,
-                        server_anchors: Optional[Truststore] = None
+                        server_anchors: Optional[Truststore] = None,
+                        serial: Optional[int] = None
                         ) -> Certificate:
         from repro.pki.csr import CertificateSigningRequest
 
@@ -374,6 +435,7 @@ class VerificationManager:
         certificate = self.ca.issue_from_csr(
             csr, now=int(self._now()),
             validity=self.policy.credential_validity,
+            serial=serial,
         )
         self.audit.record(ev.EVENT_CREDENTIAL_ISSUED, vnf_name,
                           f"serial {certificate.serial} (csr)")
@@ -388,8 +450,9 @@ class VerificationManager:
                 f"certificate installation confirmation mismatch: "
                 f"{subject!r}"
             )
-        self._issued[vnf_name] = certificate
-        self._vnf_host[vnf_name] = host_name
+        with self._lock:
+            self._issued[vnf_name] = certificate
+            self._vnf_host[vnf_name] = host_name
         self.audit.record(ev.EVENT_CREDENTIAL_PROVISIONED, vnf_name,
                           f"serial {certificate.serial} (csr)")
         return certificate
@@ -398,20 +461,31 @@ class VerificationManager:
 
     def subscribe_crl(self, tls_config) -> None:
         """Register a TLS config (e.g. the controller's) for CRL pushes."""
-        self._crl_subscribers.append(tls_config)
-        tls_config.crl = self.ca.current_crl(int(self._now()))
+        with self._lock:
+            self._crl_subscribers.append(tls_config)
+            tls_config.crl = self.ca.current_crl(int(self._now()))
 
     def revoke_vnf(self, vnf_name: str,
                    reason: str = REASON_UNSPECIFIED) -> None:
-        """Revoke a VNF's credentials and push the fresh CRL."""
-        certificate = self._issued.get(vnf_name)
-        if certificate is None:
-            raise RevocationError(f"no credentials issued to {vnf_name!r}")
-        self.ca.revoke(certificate.serial, int(self._now()), reason)
-        self._publish_crl()
-        # A revoked VNF must not keep a memoised "trustworthy" verdict: a
-        # retry replaying its old evidence has to face IAS again.
-        self.verification_cache.invalidate_subject(vnf_name)
+        """Revoke a VNF's credentials and push the fresh CRL.
+
+        Atomic under the VM lock: a concurrent enrollment never observes
+        the window between the CA marking the serial revoked and the CRL
+        push / cache flush (lock ordering: VM lock, then CA lock, then
+        cache locks).
+        """
+        with self._lock:
+            certificate = self._issued.get(vnf_name)
+            if certificate is None:
+                raise RevocationError(
+                    f"no credentials issued to {vnf_name!r}"
+                )
+            self.ca.revoke(certificate.serial, int(self._now()), reason)
+            self._publish_crl()
+            # A revoked VNF must not keep a memoised "trustworthy"
+            # verdict: a retry replaying its old evidence has to face IAS
+            # again.
+            self.verification_cache.invalidate_subject(vnf_name)
         self.audit.record(ev.EVENT_CREDENTIAL_REVOKED, vnf_name,
                           f"serial {certificate.serial} ({reason})")
 
@@ -422,31 +496,37 @@ class VerificationManager:
         Returns the names of the revoked VNFs.  (Platform-level EPID
         revocation at IAS is the operator's separate step.)
         """
-        record = self._hosts.get(host_name)
-        if record is None:
-            raise RevocationError(f"host {host_name!r} was never attested")
-        record.revoked = True
-        self.audit.record(ev.EVENT_PLATFORM_REVOKED, host_name)
-        revoked = []
-        for vnf_name, certificate in list(self._issued.items()):
-            if self._vnf_host.get(vnf_name) != host_name:
-                continue
-            self.ca.revoke(certificate.serial, int(self._now()),
-                           REASON_PLATFORM_UNTRUSTED)
-            revoked.append(vnf_name)
-        if revoked:
-            self._publish_crl()
-        # Flush memoised IAS verdicts for the host *and* everything that
-        # was enrolled on it (SessionCache.invalidate_where pattern): the
-        # platform's trust state just changed, so byte-identical evidence
-        # must be re-verified, not replayed from cache.
-        doomed = set(revoked) | {host_name}
-        self.verification_cache.invalidate_where(
-            lambda entry: entry.subject in doomed
-        )
+        with self._lock:
+            record = self._hosts.get(host_name)
+            if record is None:
+                raise RevocationError(
+                    f"host {host_name!r} was never attested"
+                )
+            record.revoked = True
+            self.audit.record(ev.EVENT_PLATFORM_REVOKED, host_name)
+            revoked = []
+            for vnf_name, certificate in list(self._issued.items()):
+                if self._vnf_host.get(vnf_name) != host_name:
+                    continue
+                self.ca.revoke(certificate.serial, int(self._now()),
+                               REASON_PLATFORM_UNTRUSTED)
+                revoked.append(vnf_name)
+            if revoked:
+                self._publish_crl()
+            # Flush memoised IAS verdicts for the host *and* everything
+            # that was enrolled on it (SessionCache.invalidate_where
+            # pattern): the platform's trust state just changed, so
+            # byte-identical evidence must be re-verified, not replayed
+            # from cache.
+            doomed = set(revoked) | {host_name}
+            self.verification_cache.invalidate_where(
+                lambda entry: entry.subject in doomed
+            )
         return revoked
 
     def _publish_crl(self) -> None:
+        # Callers hold the VM lock; subscriber TLS configs are refreshed
+        # before any other thread can see the revocation half-applied.
         crl = self.ca.current_crl(int(self._now()))
         for config in self._crl_subscribers:
             config.crl = crl
@@ -464,10 +544,11 @@ class VerificationManager:
 
     def issued_certificate(self, vnf_name: str) -> Certificate:
         """The current certificate for an enrolled VNF."""
-        try:
-            return self._issued[vnf_name]
-        except KeyError as exc:
-            raise VnfSgxError(f"{vnf_name!r} is not enrolled") from exc
+        with self._lock:
+            try:
+                return self._issued[vnf_name]
+            except KeyError as exc:
+                raise VnfSgxError(f"{vnf_name!r} is not enrolled") from exc
 
     def _verify_quote_with_ias(self, quote: Quote, nonce: bytes,
                                subject: str) -> None:

@@ -424,6 +424,30 @@ class Deployment:
             session.connect(self.enclave_client(vnf_name))
         return session
 
+    def enroll_fleet(self, vnf_names: Optional[List[str]] = None,
+                     workers: int = 4,
+                     retry_policy: Optional[RetryPolicy] = None,
+                     pooled_ias: bool = True):
+        """Enroll many VNFs across a bounded worker pool.
+
+        The pooled path amortizes what the serial loop repeats per VNF:
+        each distinct host is attested exactly once (single-flight) and
+        all IAS verifications share one persistent connection.  Serials
+        are reserved in submission order and key material comes from
+        per-VNF DRBGs, so the issued certificates are byte-identical to
+        a serial :meth:`enroll` loop's (experiment E12 asserts this).
+
+        Returns a :class:`repro.core.fleet.FleetReport` with
+        partial-failure semantics mirroring :meth:`run_workflow`.
+        """
+        from repro.core.fleet import FleetScheduler
+
+        scheduler = FleetScheduler(
+            self, workers=workers, retry_policy=retry_policy,
+            pooled_ias=pooled_ias,
+        )
+        return scheduler.enroll(vnf_names)
+
     def run_workflow(self) -> WorkflowTrace:
         """Execute the full Figure 1 workflow for every VNF.
 

@@ -36,6 +36,7 @@ tables proving the speedups.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import List, NamedTuple, Optional, Tuple
 
@@ -78,12 +79,17 @@ class Point(NamedTuple):
 class EcEngineStats:
     """Operation counters for the fast-path engine (one instance per curve).
 
-    Plain integer attributes so the hot paths pay one ``+= 1`` each; the
-    telemetry layer snapshots them on scrape rather than the crypto layer
-    pushing into a registry.
+    Counters are bumped through :meth:`bump`, which holds a private lock:
+    a bare ``+= 1`` is a read-modify-write that loses increments when
+    concurrent fleet enrollments (:mod:`repro.core.fleet`) hammer the
+    engine from many threads.  The lock costs ~100 ns against scalar
+    multiplications measured in hundreds of microseconds, so the E11
+    speedup gates are unaffected.  The telemetry layer snapshots the
+    counters on scrape rather than the crypto layer pushing into a
+    registry.
     """
 
-    __slots__ = (
+    _COUNTERS = (
         "reference_mults",
         "generator_mults",
         "dual_mults",
@@ -96,25 +102,27 @@ class EcEngineStats:
         "point_table_misses",
     )
 
+    __slots__ = _COUNTERS + ("_lock",)
+
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.reset()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Atomically add ``amount`` to the counter called ``name``."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
 
     def reset(self) -> None:
         """Zero every counter."""
-        self.reference_mults = 0
-        self.generator_mults = 0
-        self.dual_mults = 0
-        self.wnaf_mults = 0
-        self.table_builds = 0
-        self.validation_cache_hits = 0
-        self.validation_cache_misses = 0
-        self.order_checks_skipped = 0
-        self.point_table_hits = 0
-        self.point_table_misses = 0
+        with self._lock:
+            for name in self._COUNTERS:
+                setattr(self, name, 0)
 
     def snapshot(self) -> dict:
         """Current counters as a plain dict (telemetry sync + tests)."""
-        return {name: getattr(self, name) for name in self.__slots__}
+        with self._lock:
+            return {name: getattr(self, name) for name in self._COUNTERS}
 
 
 def _wnaf(k: int, width: int) -> List[int]:
@@ -154,6 +162,10 @@ class _Curve:
         self.h = h  # cofactor (1 for all NIST prime curves)
         self.coordinate_size = (p.bit_length() + 7) // 8
         self.stats = EcEngineStats()
+        # Guards the validated-point LRU, the per-point table LRU and the
+        # lazy one-shot table builds below.  RLock because validation may
+        # nest inside a locked table build on cofactor>1 curves.
+        self._lock = threading.RLock()
         # Lazily built fast-path tables (once per curve, never mutated).
         self._fixed_base: Optional[List[List[Point]]] = None
         self._generator_odd: Optional[Tuple[List[Point], List[Point]]] = None
@@ -198,20 +210,22 @@ class _Curve:
             raise InvalidPoint("public key is the point at infinity")
         key = (point.x, point.y)
         cache = self._validated
-        if key in cache:
-            cache.move_to_end(key)
-            self.stats.validation_cache_hits += 1
-            return point
-        self.stats.validation_cache_misses += 1
+        with self._lock:
+            if key in cache:
+                cache.move_to_end(key)
+                self.stats.bump("validation_cache_hits")
+                return point
+        self.stats.bump("validation_cache_misses")
         if not self.contains(point):
             raise InvalidPoint(f"point {point} is not on {self.name}")
         if self.h == 1:
-            self.stats.order_checks_skipped += 1
+            self.stats.bump("order_checks_skipped")
         elif self.multiply(self.n, point) is not None:
             raise InvalidPoint("point has wrong order")
-        cache[key] = True
-        if len(cache) > self.validation_cache_capacity:
-            cache.popitem(last=False)
+        with self._lock:
+            cache[key] = True
+            if len(cache) > self.validation_cache_capacity:
+                cache.popitem(last=False)
         return point
 
     def validate_public_uncached(self, point: Optional[Point]) -> Point:
@@ -228,17 +242,20 @@ class _Curve:
 
     def reset_validation_cache(self) -> None:
         """Drop every cached validation verdict (tests / key rotation)."""
-        self._validated.clear()
+        with self._lock:
+            self._validated.clear()
 
     def reset_point_tables(self) -> None:
         """Drop every cached odd-multiples table (tests).  Safe at any
         time: tables are pure functions of the point coordinates."""
-        self._point_tables.clear()
+        with self._lock:
+            self._point_tables.clear()
 
     @property
     def validation_cache_size(self) -> int:
         """Number of points currently remembered as valid."""
-        return len(self._validated)
+        with self._lock:
+            return len(self._validated)
 
     # ------------------------------------------------------- group arithmetic
 
@@ -364,7 +381,7 @@ class _Curve:
         is deliberately left untouched: it is the oracle the comb / wNAF /
         dual-scalar fast paths are cross-checked against.
         """
-        self.stats.reference_mults += 1
+        self.stats.bump("reference_mults")
         k %= self.n
         if k == 0 or point is None:
             return None
@@ -386,25 +403,30 @@ class _Curve:
         15 entries each.  With the table in hand, ``k * G`` is at most one
         mixed addition per 4-bit window of ``k`` — no doublings.
         """
-        if self._fixed_base is None:
-            self.stats.table_builds += 1
-            windows = (self.n.bit_length() + FIXED_BASE_WINDOW - 1) \
-                // FIXED_BASE_WINDOW
-            table: List[List[Point]] = []
-            base = self._to_jacobian(self.generator)
-            for _ in range(windows):
-                row: List[Point] = []
-                acc = (0, 1, 0)
-                for _ in range((1 << FIXED_BASE_WINDOW) - 1):
-                    acc = self._jac_add(acc, base)
-                    affine = self._from_jacobian(acc)
-                    assert affine is not None  # j*2^(4i) < n: never infinity
-                    row.append(affine)
-                table.append(row)
-                for _ in range(FIXED_BASE_WINDOW):
-                    base = self._jac_double(base)
-            self._fixed_base = table
-        return self._fixed_base
+        table_ref = self._fixed_base
+        if table_ref is None:
+            with self._lock:
+                if self._fixed_base is None:  # double-checked: build once
+                    self.stats.bump("table_builds")
+                    windows = (self.n.bit_length() + FIXED_BASE_WINDOW - 1) \
+                        // FIXED_BASE_WINDOW
+                    table: List[List[Point]] = []
+                    base = self._to_jacobian(self.generator)
+                    for _ in range(windows):
+                        row: List[Point] = []
+                        acc = (0, 1, 0)
+                        for _ in range((1 << FIXED_BASE_WINDOW) - 1):
+                            acc = self._jac_add(acc, base)
+                            affine = self._from_jacobian(acc)
+                            # j*2^(4i) < n: never infinity
+                            assert affine is not None
+                            row.append(affine)
+                        table.append(row)
+                        for _ in range(FIXED_BASE_WINDOW):
+                            base = self._jac_double(base)
+                    self._fixed_base = table
+                table_ref = self._fixed_base
+        return table_ref
 
     def _generator_wnaf_tables(self) -> Tuple[List[Point], List[Point]]:
         """Affine odd-multiples tables for both generator digit streams.
@@ -414,18 +436,22 @@ class _Curve:
         shifted base the split-scalar dual ladder uses for the top half
         of ``u1``.  Built once per curve.
         """
-        if self._generator_odd is None:
-            self.stats.table_builds += 1
-            shifted = self._to_jacobian(self.generator)
-            for _ in range(self._half_bits):
-                shifted = self._jac_double(shifted)
-            count = 1 << (GENERATOR_WNAF_WIDTH - 2)
-            low_jac = self._odd_multiples_jac(
-                self._to_jacobian(self.generator), count)
-            high_jac = self._odd_multiples_jac(shifted, count)
-            affine = self._to_affine_batch(low_jac + high_jac)
-            self._generator_odd = (affine[:count], affine[count:])
-        return self._generator_odd
+        tables_ref = self._generator_odd
+        if tables_ref is None:
+            with self._lock:
+                if self._generator_odd is None:  # double-checked
+                    self.stats.bump("table_builds")
+                    shifted = self._to_jacobian(self.generator)
+                    for _ in range(self._half_bits):
+                        shifted = self._jac_double(shifted)
+                    count = 1 << (GENERATOR_WNAF_WIDTH - 2)
+                    low_jac = self._odd_multiples_jac(
+                        self._to_jacobian(self.generator), count)
+                    high_jac = self._odd_multiples_jac(shifted, count)
+                    affine = self._to_affine_batch(low_jac + high_jac)
+                    self._generator_odd = (affine[:count], affine[count:])
+                tables_ref = self._generator_odd
+        return tables_ref
 
     def _odd_multiples_jac(self, jac: tuple, count: int) -> List[tuple]:
         """Odd multiples ``[1, 3, 5, ...]`` (``count`` of them) of a
@@ -474,12 +500,17 @@ class _Curve:
         """
         key = (point.x, point.y)
         cache = self._point_tables
-        tables = cache.get(key)
-        if tables is not None:
-            cache.move_to_end(key)
-            self.stats.point_table_hits += 1
-            return tables
-        self.stats.point_table_misses += 1
+        with self._lock:
+            tables = cache.get(key)
+            if tables is not None:
+                cache.move_to_end(key)
+                self.stats.bump("point_table_hits")
+                return tables
+        # Build outside the lock: ~128 doublings plus a batch inversion.
+        # Two threads racing on the same new key both build; the second
+        # insert wins and the tables are identical (pure function of the
+        # point), so the duplicate work is bounded and harmless.
+        self.stats.bump("point_table_misses")
         base = self._to_jacobian(point)
         shifted = base
         for _ in range(self._half_bits):
@@ -489,9 +520,10 @@ class _Curve:
         high_jac = self._odd_multiples_jac(shifted, count)
         affine = self._to_affine_batch(low_jac + high_jac)
         tables = (affine[:count], affine[count:])
-        cache[key] = tables
-        if len(cache) > self.point_table_cache_capacity:
-            cache.popitem(last=False)
+        with self._lock:
+            cache[key] = tables
+            if len(cache) > self.point_table_cache_capacity:
+                cache.popitem(last=False)
         return tables
 
     # ------------------------------------------------------- fast multiplies
@@ -502,7 +534,7 @@ class _Curve:
         One mixed addition per non-zero radix-16 window of ``k`` — roughly
         64 cheap additions instead of ~256 doublings plus ~128 additions.
         """
-        self.stats.generator_mults += 1
+        self.stats.bump("generator_mults")
         k %= self.n
         if k == 0:
             return None
@@ -526,7 +558,7 @@ class _Curve:
         Same result as :meth:`multiply`, ~2.5x fewer additions: the wNAF
         digit density is ``1/(width+1)`` against the plain ladder's 1/2.
         """
-        self.stats.wnaf_mults += 1
+        self.stats.bump("wnaf_mults")
         k %= self.n
         if k == 0 or point is None:
             return None
@@ -564,7 +596,7 @@ class _Curve:
         function-call overhead and the ``z^4`` power; the generic
         ``_jac_double`` remains the fallback.
         """
-        self.stats.dual_mults += 1
+        self.stats.bump("dual_mults")
         u1 %= self.n
         u2 %= self.n
         if point is None or u2 == 0:

@@ -159,39 +159,57 @@ class IasClient(RetryingMixin):
             operation="ias-verify", clock=self._network.clock,
         )
 
+    def _open_connection(self):
+        """Dial IAS and complete the TLS handshake; returns the record
+        connection.  Callers own closing it."""
+        channel = self._network.connect(self._source_host, self._address)
+        return self._tls_client.connect(channel,
+                                        server_name=str(self._address))
+
+    def _exchange_on(self, conn, quote_bytes: bytes,
+                     nonce: str) -> AttestationVerificationReport:
+        """One report request/response over an *established* connection.
+
+        Split out from :meth:`_verify_once` so a pooled client (one
+        persistent connection, many verifications — see
+        :class:`repro.core.fleet.PooledIasClient`) reuses the exact same
+        wire format, status handling, and AVR checks without paying a
+        fresh TCP connect + TLS handshake per quote.
+        """
+        payload = json.dumps({
+            "isvEnclaveQuote": quote_bytes.hex(),
+            "nonce": nonce,
+        }).encode("utf-8")
+        conn.send(HttpRequest(
+            "POST", REPORT_PATH,
+            headers={"content-type": "application/json"},
+            body=payload,
+        ).encode())
+        parser = HttpParser(is_server_side=False)
+        responses = parser.feed(conn.recv_available())
+        if not responses:
+            raise IasError("no response from IAS")
+        response = responses[0]
+        if response.status in TRANSIENT_STATUSES:
+            raise IasUnavailable(
+                f"IAS returned {response.status}: "
+                f"{response.body.decode(errors='replace')}"
+            )
+        if response.status != 200:
+            raise IasError(
+                f"IAS returned {response.status}: "
+                f"{response.body.decode(errors='replace')}"
+            )
+        avr = AttestationVerificationReport.from_json(response.body)
+        avr.verify(self._report_signing_key)
+        if nonce and avr.nonce != nonce:
+            raise IasError("AVR nonce mismatch (replayed verdict?)")
+        return avr
+
     def _verify_once(self, quote_bytes: bytes,
                      nonce: str) -> AttestationVerificationReport:
-        channel = self._network.connect(self._source_host, self._address)
-        conn = self._tls_client.connect(channel, server_name=str(self._address))
+        conn = self._open_connection()
         try:
-            payload = json.dumps({
-                "isvEnclaveQuote": quote_bytes.hex(),
-                "nonce": nonce,
-            }).encode("utf-8")
-            conn.send(HttpRequest(
-                "POST", REPORT_PATH,
-                headers={"content-type": "application/json"},
-                body=payload,
-            ).encode())
-            parser = HttpParser(is_server_side=False)
-            responses = parser.feed(conn.recv_available())
-            if not responses:
-                raise IasError("no response from IAS")
-            response = responses[0]
-            if response.status in TRANSIENT_STATUSES:
-                raise IasUnavailable(
-                    f"IAS returned {response.status}: "
-                    f"{response.body.decode(errors='replace')}"
-                )
-            if response.status != 200:
-                raise IasError(
-                    f"IAS returned {response.status}: "
-                    f"{response.body.decode(errors='replace')}"
-                )
-            avr = AttestationVerificationReport.from_json(response.body)
-            avr.verify(self._report_signing_key)
-            if nonce and avr.nonce != nonce:
-                raise IasError("AVR nonce mismatch (replayed verdict?)")
-            return avr
+            return self._exchange_on(conn, quote_bytes, nonce)
         finally:
             conn.close()

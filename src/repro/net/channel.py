@@ -3,9 +3,17 @@
 Delivery is synchronous: ``send`` charges link latency to the virtual clock
 and either appends to the peer's receive buffer (for blocking-style readers)
 or invokes the peer's registered receive handler inline (for event-driven
-servers).  Because the whole simulation is single-threaded, a blocking
-``recv`` that finds an empty buffer is a protocol bug, and the channel says
-so loudly instead of deadlocking.
+servers).  Because a conversation is synchronous, a blocking ``recv`` that
+finds an empty buffer is a protocol bug, and the channel says so loudly
+instead of deadlocking.
+
+Threading model: a channel *pair* is a lockstep request/response rail —
+the server side's handler runs inline in the connecting thread, so one
+entire conversation executes on one thread.  Concurrent fleet sessions
+each open their own connections; anything that *shares* a connection
+across threads (e.g. the pooled IAS client in :mod:`repro.core.fleet`)
+must serialize whole request/response exchanges with its own lock.
+See ``docs/CONCURRENCY.md``.
 """
 
 from __future__ import annotations

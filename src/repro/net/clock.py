@@ -4,15 +4,31 @@ Everything that costs time in the simulation — link latency, enclave
 transitions, crypto work modelled at a coarser grain — charges seconds to a
 shared :class:`VirtualClock`.  Components also use the clock for certificate
 validity and CRL freshness, so an entire deployment shares one time line.
+
+Concurrency
+-----------
+
+Fleet enrollment (:mod:`repro.core.fleet`) drives many sessions from a
+worker pool, so the clock is **thread-safe**: ``advance`` performs its
+read-modify-write under an internal lock, and readers see a consistent
+snapshot.  On top of the global time line the clock keeps **per-thread
+local accounting**: every ``advance`` also accrues to the calling
+thread's private counter, readable via :meth:`local_seconds`.  A
+session that measures its own simulated cost as a delta of
+``local_seconds()`` gets a number unpolluted by whatever sibling
+sessions charged concurrently — and in a single-threaded run the local
+delta equals the global delta, so serial and pooled runs report the
+same per-step simulated timings.  See ``docs/CONCURRENCY.md``.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict
 
 
 class VirtualClock:
-    """A monotonically advancing simulated clock.
+    """A monotonically advancing simulated clock (thread-safe).
 
     Args:
         start: initial time in seconds.
@@ -21,33 +37,53 @@ class VirtualClock:
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._charges: Dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
 
     def now(self) -> float:
         """Current simulated time in seconds."""
-        return self._now
+        with self._lock:
+            return self._now
 
     def now_seconds(self) -> int:
         """Current simulated time truncated to whole seconds (PKI uses this)."""
-        return int(self._now)
+        return int(self.now())
 
     def advance(self, seconds: float, account: str = "other") -> None:
         """Advance time by ``seconds``, attributing the cost to ``account``.
 
         Accounts let benchmarks break total simulated time down by cause
         (link latency vs. enclave transitions vs. handshake crypto).
+        The global advance and the per-account charge are applied
+        atomically; the calling thread's local counter (see
+        :meth:`local_seconds`) accrues the same amount.
         """
         if seconds < 0:
             raise ValueError("cannot advance the clock backwards")
-        self._now += seconds
-        self._charges[account] = self._charges.get(account, 0.0) + seconds
+        with self._lock:
+            self._now += seconds
+            self._charges[account] = self._charges.get(account, 0.0) + seconds
+        self._local.elapsed = getattr(self._local, "elapsed", 0.0) + seconds
+
+    def local_seconds(self) -> float:
+        """Simulated seconds advanced *by the calling thread*.
+
+        Starts at 0.0 per thread and accrues every ``advance`` the thread
+        performs.  In a single-threaded deployment this moves in lockstep
+        with :meth:`now` (modulo the start offset), which is what makes
+        pooled fleet timings comparable to serial ones.
+        """
+        return getattr(self._local, "elapsed", 0.0)
 
     def charges(self) -> Dict[str, float]:
         """Accumulated per-account charges since construction."""
-        return dict(self._charges)
+        with self._lock:
+            return dict(self._charges)
 
     def reset_charges(self) -> None:
         """Zero the per-account accounting (time itself keeps running)."""
-        self._charges.clear()
+        with self._lock:
+            self._charges.clear()
 
 
 class StopWatch:

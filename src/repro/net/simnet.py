@@ -9,10 +9,19 @@ A :class:`~repro.net.faults.FaultPlan` installed via
 :meth:`Network.install_faults` intercepts connects and sends to inject
 refusals, latency spikes and mid-stream drops deterministically; see
 ``docs/FAULTS.md``.
+
+The fabric is **thread-safe**: listener registration, link-profile
+lookups and the connection counter are guarded by one internal lock, so
+concurrent fleet sessions (:mod:`repro.core.fleet`) can connect without
+torn state.  Acceptors still run inline in the connecting thread, and an
+individual :class:`~repro.net.channel.Channel` pair remains a lockstep
+request/response rail owned by the thread (or pooled client) using it —
+see ``docs/CONCURRENCY.md`` for the ownership rules.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
@@ -68,6 +77,7 @@ class Network:
         self._profiles: Dict[Tuple[str, str], LinkProfile] = {}
         self._connection_count = 0
         self._faults: Optional["FaultPlan"] = None
+        self._lock = threading.RLock()
 
     # --------------------------------------------------------------- faults
 
@@ -87,30 +97,35 @@ class Network:
     def set_link_profile(self, host_a: str, host_b: str,
                          profile: LinkProfile) -> None:
         """Override the link profile between two hosts (order-insensitive)."""
-        self._profiles[(host_a, host_b)] = profile
-        self._profiles[(host_b, host_a)] = profile
+        with self._lock:
+            self._profiles[(host_a, host_b)] = profile
+            self._profiles[(host_b, host_a)] = profile
 
     def profile_between(self, host_a: str, host_b: str) -> LinkProfile:
         """Effective link profile between two hosts."""
-        if host_a == host_b:
-            return self._profiles.get((host_a, host_b), LOOPBACK)
-        return self._profiles.get((host_a, host_b), self._default_profile)
+        with self._lock:
+            if host_a == host_b:
+                return self._profiles.get((host_a, host_b), LOOPBACK)
+            return self._profiles.get((host_a, host_b), self._default_profile)
 
     # ------------------------------------------------------------ listeners
 
     def listen(self, address: Address, acceptor: Acceptor) -> None:
         """Register an acceptor for inbound connections to ``address``."""
-        if address in self._listeners:
-            raise AddressError(f"{address} is already listening")
-        self._listeners[address] = acceptor
+        with self._lock:
+            if address in self._listeners:
+                raise AddressError(f"{address} is already listening")
+            self._listeners[address] = acceptor
 
     def stop_listening(self, address: Address) -> None:
         """Remove a listener."""
-        self._listeners.pop(address, None)
+        with self._lock:
+            self._listeners.pop(address, None)
 
     def is_listening(self, address: Address) -> bool:
         """True if something accepts connections at ``address``."""
-        return address in self._listeners
+        with self._lock:
+            return address in self._listeners
 
     # ----------------------------------------------------------- connecting
 
@@ -120,7 +135,8 @@ class Network:
         The destination's acceptor runs inline (it typically registers an
         ``on_receive`` handler on the server-side channel).
         """
-        acceptor = self._listeners.get(destination)
+        with self._lock:
+            acceptor = self._listeners.get(destination)
         if acceptor is None:
             raise ConnectionRefused(f"nothing listening at {destination}")
         profile = self.profile_between(source_host, destination.host)
@@ -129,8 +145,9 @@ class Network:
             # May raise ConnectionRefused (injected) or charge extra
             # connect latency; returns this connection's fault budget.
             fault_state = self._faults.on_connect(destination, self.clock)
-        self._connection_count += 1
-        conn_id = self._connection_count
+        with self._lock:
+            self._connection_count += 1
+            conn_id = self._connection_count
         # Connection setup costs one round trip (SYN + SYN/ACK equivalent).
         self.clock.advance(2 * profile.latency, "network")
 

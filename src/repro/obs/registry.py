@@ -10,12 +10,22 @@ isolation (:func:`reset_default_registry`).
 Observing a metric never touches the virtual clock — telemetry watches the
 simulation, it does not participate in it — so enabling instrumentation
 cannot change simulated timings.
+
+Thread-safety: the registry's get-or-create, each family's child
+creation, and every child mutation run under locks, so concurrent fleet
+enrollments (:mod:`repro.core.fleet`) can instrument freely: two threads
+racing to create the same metric (or the same labelled child) converge
+on a single instance instead of silently dropping one of them, and
+counter/histogram updates never lose increments.  See
+``docs/CONCURRENCY.md`` for the lock ordering rules (registry lock >
+family lock > child lock; no call path takes them in reverse).
 """
 
 from __future__ import annotations
 
 import math
 import re
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ObservabilityError
@@ -64,6 +74,7 @@ class MetricFamily:
         self.help = help
         self.labelnames = _validate_labelnames(labelnames)
         self._children: Dict[Tuple[str, ...], object] = {}
+        self._family_lock = threading.RLock()
 
     # ----------------------------------------------------------- children
 
@@ -79,11 +90,15 @@ class MetricFamily:
                 f"expected {sorted(self.labelnames)}"
             )
         key = tuple(str(labels[name]) for name in self.labelnames)
-        child = self._children.get(key)
-        if child is None:
-            child = self._make_child()
-            self._children[key] = child
-        return child
+        # Atomic get-or-create: the naive check-then-act version loses a
+        # child when two threads race on a new label combination (each
+        # observing into its own orphan).
+        with self._family_lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
 
     def _unlabelled(self):
         """The single child of a label-less family."""
@@ -95,11 +110,13 @@ class MetricFamily:
 
     def children(self) -> List[Tuple[Tuple[str, ...], object]]:
         """``(label_values, child)`` pairs in insertion order."""
-        return list(self._children.items())
+        with self._family_lock:
+            return list(self._children.items())
 
     def reset(self) -> None:
         """Drop all children (counts return to zero)."""
-        self._children.clear()
+        with self._family_lock:
+            self._children.clear()
 
 
 # --------------------------------------------------------------------------
@@ -107,18 +124,20 @@ class MetricFamily:
 
 
 class CounterChild:
-    """One monotonically increasing count."""
+    """One monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_lock")
 
     def __init__(self) -> None:
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative)."""
         if amount < 0:
             raise ObservabilityError("counters can only go up")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -153,24 +172,28 @@ class Counter(MetricFamily):
 
 
 class GaugeChild:
-    """One instantaneous value."""
+    """One instantaneous value (thread-safe)."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_lock")
 
     def __init__(self) -> None:
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Set the gauge."""
-        self._value = float(value)
+        with self._lock:
+            self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (may be negative)."""
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         """Subtract ``amount``."""
-        self._value -= amount
+        with self._lock:
+            self._value -= amount
 
     @property
     def value(self) -> float:
@@ -216,7 +239,8 @@ class HistogramChild:
     from bucket boundaries.
     """
 
-    __slots__ = ("_buckets", "_bucket_counts", "_sum", "_samples", "_sorted")
+    __slots__ = ("_buckets", "_bucket_counts", "_sum", "_samples",
+                 "_sorted", "_lock")
 
     def __init__(self, buckets: Tuple[float, ...]) -> None:
         self._buckets = buckets
@@ -224,19 +248,21 @@ class HistogramChild:
         self._sum = 0.0
         self._samples: List[float] = []
         self._sorted = True
+        self._lock = threading.RLock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self._sum += value
-        if self._samples and value < self._samples[-1]:
-            self._sorted = False
-        self._samples.append(value)
-        for index, bound in enumerate(self._buckets):
-            if value <= bound:
-                self._bucket_counts[index] += 1
-                return
-        self._bucket_counts[-1] += 1
+        with self._lock:
+            self._sum += value
+            if self._samples and value < self._samples[-1]:
+                self._sorted = False
+            self._samples.append(value)
+            for index, bound in enumerate(self._buckets):
+                if value <= bound:
+                    self._bucket_counts[index] += 1
+                    return
+            self._bucket_counts[-1] += 1
 
     @property
     def count(self) -> int:
@@ -255,13 +281,14 @@ class HistogramChild:
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ending with +Inf."""
-        out: List[Tuple[float, int]] = []
-        running = 0
-        for bound, count in zip(self._buckets, self._bucket_counts):
-            running += count
-            out.append((bound, running))
-        out.append((math.inf, running + self._bucket_counts[-1]))
-        return out
+        with self._lock:
+            out: List[Tuple[float, int]] = []
+            running = 0
+            for bound, count in zip(self._buckets, self._bucket_counts):
+                running += count
+                out.append((bound, running))
+            out.append((math.inf, running + self._bucket_counts[-1]))
+            return out
 
     def _ensure_sorted(self) -> None:
         if not self._sorted:
@@ -272,11 +299,12 @@ class HistogramChild:
         """Nearest-rank percentile; ``q`` in [0, 100]."""
         if not 0 <= q <= 100:
             raise ObservabilityError(f"percentile {q} out of [0, 100]")
-        if not self._samples:
-            raise ObservabilityError("percentile of an empty histogram")
-        self._ensure_sorted()
-        rank = max(1, math.ceil(q / 100.0 * len(self._samples)))
-        return self._samples[rank - 1]
+        with self._lock:
+            if not self._samples:
+                raise ObservabilityError("percentile of an empty histogram")
+            self._ensure_sorted()
+            rank = max(1, math.ceil(q / 100.0 * len(self._samples)))
+            return self._samples[rank - 1]
 
     def summary(self) -> Dict[str, float]:
         """The derived summary: p50/p90/p99 plus count and sum."""
@@ -337,26 +365,32 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.RLock()
 
     # ---------------------------------------------------------- factories
 
     def _get_or_create(self, cls, name: str, help: str,
                        labelnames: Sequence[str], **kwargs) -> MetricFamily:
-        existing = self._families.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ObservabilityError(
-                    f"{name} already registered as a {existing.kind}"
-                )
-            if existing.labelnames != tuple(labelnames):
-                raise ObservabilityError(
-                    f"{name} already registered with labels "
-                    f"{existing.labelnames}, not {tuple(labelnames)}"
-                )
-            return existing
-        family = cls(name, help, labelnames, **kwargs)
-        self._families[name] = family
-        return family
+        # Atomic under the registry lock: the check-then-act version was
+        # racy — two threads creating the same metric each registered
+        # their own family, and whichever insert lost the race kept
+        # feeding a family that collect() would never see.
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ObservabilityError(
+                        f"{name} already registered as a {existing.kind}"
+                    )
+                if existing.labelnames != tuple(labelnames):
+                    raise ObservabilityError(
+                        f"{name} already registered with labels "
+                        f"{existing.labelnames}, not {tuple(labelnames)}"
+                    )
+                return existing
+            family = cls(name, help, labelnames, **kwargs)
+            self._families[name] = family
+            return family
 
     def counter(self, name: str, help: str = "",
                 labelnames: Sequence[str] = ()) -> Counter:
@@ -383,26 +417,34 @@ class MetricsRegistry:
         Raises:
             ObservabilityError: unknown metric.
         """
-        try:
-            return self._families[name]
-        except KeyError as exc:
-            raise ObservabilityError(f"no metric named {name!r}") from exc
+        with self._lock:
+            try:
+                return self._families[name]
+            except KeyError as exc:
+                raise ObservabilityError(
+                    f"no metric named {name!r}"
+                ) from exc
 
     def __contains__(self, name: str) -> bool:
-        return name in self._families
+        with self._lock:
+            return name in self._families
 
     def collect(self) -> List[MetricFamily]:
         """All families, sorted by name (exposition order)."""
-        return sorted(self._families.values(), key=lambda f: f.name)
+        with self._lock:
+            return sorted(self._families.values(), key=lambda f: f.name)
 
     def reset(self) -> None:
         """Zero every family (registrations survive, children are dropped)."""
-        for family in self._families.values():
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
             family.reset()
 
     def unregister(self, name: str) -> None:
         """Remove a family entirely."""
-        self._families.pop(name, None)
+        with self._lock:
+            self._families.pop(name, None)
 
 
 # --------------------------------------------------------------------------

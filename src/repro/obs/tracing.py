@@ -6,14 +6,22 @@ runs with the same seed produce byte-identical trace exports on any
 machine.  Span and trace identifiers are sequence numbers, not random, for
 the same reason.
 
-Because the simulated network delivers synchronously, the whole workflow
-runs on one logical thread and parent/child nesting falls out of a simple
-span stack: whatever span is open when a new one starts becomes its parent.
+Because the simulated network delivers synchronously, one *conversation*
+runs on one thread and parent/child nesting falls out of a simple span
+stack: whatever span is open when a new one starts becomes its parent.
+Under fleet enrollment (:mod:`repro.core.fleet`) many conversations run
+concurrently, so the open-span stack is **thread-local** — each worker
+nests its own spans — while the shared collections (roots, id counters)
+are guarded by a lock.  Span ids stay deterministic in single-threaded
+runs; under a worker pool the *assignment* of ids depends on
+interleaving but every span tree remains internally consistent.  See
+``docs/CONCURRENCY.md``.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ObservabilityError
@@ -125,42 +133,62 @@ class Tracer:
 
     def __init__(self, now: Callable[[], float] = lambda: 0.0) -> None:
         self._now = now
-        self._stack: List[Span] = []
+        self._tls = threading.local()   # per-thread open-span stack
+        self._lock = threading.RLock()  # guards roots + counters
         self._roots: List[Span] = []
         self._span_counter = 0
         self._trace_counter = 0
+        self._open_count = 0
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
 
     # ------------------------------------------------------------- spans
 
     def start_span(self, name: str, **attributes: Any) -> Span:
-        """Open a span; the innermost open span becomes its parent."""
-        self._span_counter += 1
-        parent = self._stack[-1] if self._stack else None
-        if parent is None:
-            self._trace_counter += 1
-            trace_id = f"trace-{self._trace_counter:04d}"
-            parent_id = None
-        else:
-            trace_id = parent.trace_id
-            parent_id = parent.span_id
-        span = Span(name, trace_id, f"span-{self._span_counter:04d}",
-                    parent_id, self._now())
+        """Open a span; this thread's innermost open span becomes its
+        parent."""
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        with self._lock:
+            self._span_counter += 1
+            span_id = f"span-{self._span_counter:04d}"
+            if parent is None:
+                self._trace_counter += 1
+                trace_id = f"trace-{self._trace_counter:04d}"
+                parent_id = None
+            else:
+                trace_id = parent.trace_id
+                parent_id = parent.span_id
+            self._open_count += 1
+        span = Span(name, trace_id, span_id, parent_id, self._now())
         span.attributes.update(attributes)
         if parent is None:
-            self._roots.append(span)
+            with self._lock:
+                self._roots.append(span)
         else:
+            # The parent span belongs to this thread's stack, so its
+            # children list is only ever mutated from this thread.
             parent.children.append(span)
-        self._stack.append(span)
+        stack.append(span)
         return span
 
     def end_span(self, span: Span) -> None:
-        """Close a span (must be the innermost open one)."""
-        if not self._stack or self._stack[-1] is not span:
+        """Close a span (must be this thread's innermost open one)."""
+        stack = self._stack
+        if not stack or stack[-1] is not span:
             raise ObservabilityError(
                 f"span {span.name!r} is not the innermost open span"
             )
         span.end = self._now()
-        self._stack.pop()
+        stack.pop()
+        with self._lock:
+            self._open_count -= 1
 
     def span(self, name: str, **attributes: Any) -> _SpanContext:
         """``with tracer.span("name", key=value) as span: ...``"""
@@ -171,23 +199,27 @@ class Tracer:
 
         The retry layer uses this to attach retry/give-up events to
         whatever step is in flight without threading span handles
-        through every client.
+        through every client.  Thread-local: a worker sees its own
+        innermost span, never a sibling's.
         """
-        return self._stack[-1] if self._stack else None
+        stack = self._stack
+        return stack[-1] if stack else None
 
     # ------------------------------------------------------------ export
 
     def roots(self) -> List[Span]:
         """Completed (and still-open) root spans in start order."""
-        return list(self._roots)
+        with self._lock:
+            return list(self._roots)
 
     def open_depth(self) -> int:
-        """How many spans are currently open (0 when quiescent)."""
-        return len(self._stack)
+        """How many spans are open across *all* threads (0 quiescent)."""
+        with self._lock:
+            return self._open_count
 
     def export(self) -> List[Dict[str, Any]]:
         """The trace forest as JSON-ready dicts (children nested)."""
-        return [root.to_dict() for root in self._roots]
+        return [root.to_dict() for root in self.roots()]
 
     def export_flat(self) -> List[Dict[str, Any]]:
         """Every span as a flat list (children elided), in span-id order."""
@@ -200,7 +232,7 @@ class Tracer:
             for child in span.children:
                 visit(child)
 
-        for root in self._roots:
+        for root in self.roots():
             visit(root)
         out.sort(key=lambda record: record["span_id"])
         return out
@@ -211,7 +243,7 @@ class Tracer:
 
     def find(self, name: str) -> Optional[Span]:
         """First span with ``name`` anywhere in the forest."""
-        for root in self._roots:
+        for root in self.roots():
             hit = root.find(name)
             if hit is not None:
                 return hit
@@ -221,12 +253,13 @@ class Tracer:
         """Drop all recorded spans.
 
         Raises:
-            ObservabilityError: if spans are still open.
+            ObservabilityError: if spans are still open (on any thread).
         """
-        if self._stack:
-            raise ObservabilityError(
-                f"cannot reset with {len(self._stack)} span(s) open"
-            )
-        self._roots.clear()
-        self._span_counter = 0
-        self._trace_counter = 0
+        with self._lock:
+            if self._open_count:
+                raise ObservabilityError(
+                    f"cannot reset with {self._open_count} span(s) open"
+                )
+            self._roots.clear()
+            self._span_counter = 0
+            self._trace_counter = 0

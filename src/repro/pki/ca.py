@@ -4,10 +4,20 @@ Section 3 of the paper: *"The Verification Manager acts as a certificate
 authority, and signs all newly created client certificates.  The Floodlight
 controller must only validate that the client certificate has a valid
 signature from the trusted certificate authority."*
+
+Thread-safety: serial allocation, the issued-certificate ledger, the
+revocation list and the CRL cache are all guarded by one internal lock so
+concurrent fleet enrollments (:mod:`repro.core.fleet`) can never observe a
+torn counter or double-issue a serial.  For *deterministic* serial
+assignment under a worker pool, callers may :meth:`reserve_serial` numbers
+up front (in a well-defined order) and pass them to :meth:`issue` — the
+pool then produces byte-identical certificates regardless of completion
+order.  See ``docs/CONCURRENCY.md``.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
@@ -49,6 +59,7 @@ class CertificateAuthority:
         self.name = name
         self._key: EcPrivateKey = generate_keypair(rng)
         self._next_serial = 1
+        self._lock = threading.RLock()
         self._issued: Dict[int, Certificate] = {}
         self._revoked: List[RevokedEntry] = []
         # (now, update_interval, revocation count) -> signed CRL.  One
@@ -62,9 +73,20 @@ class CertificateAuthority:
     # ------------------------------------------------------------- internals
 
     def _allocate_serial(self) -> int:
-        serial = self._next_serial
-        self._next_serial += 1
-        return serial
+        with self._lock:
+            serial = self._next_serial
+            self._next_serial += 1
+            return serial
+
+    def reserve_serial(self) -> int:
+        """Atomically reserve the next serial number for a later issuance.
+
+        A fleet scheduler reserves serials for every submitted VNF *in
+        submission order* before dispatching workers, then passes each
+        reservation to :meth:`issue` — so the certificate a VNF receives
+        is independent of worker interleaving.
+        """
+        return self._allocate_serial()
 
     def _self_sign(self, now: int, validity: int) -> Certificate:
         unsigned = Certificate(
@@ -86,14 +108,22 @@ class CertificateAuthority:
     def issue(self, subject: DistinguishedName, public_key_bytes: bytes,
               now: int, validity: int = DEFAULT_VALIDITY,
               key_usage: Tuple[str, ...] = (KEY_USAGE_CLIENT_AUTH,),
-              san: Tuple[str, ...] = (), is_ca: bool = False) -> Certificate:
+              san: Tuple[str, ...] = (), is_ca: bool = False,
+              serial: Optional[int] = None) -> Certificate:
         """Issue a certificate over an externally supplied public key.
 
         This is the paper's main path: the VM generates the key pair itself
         and provisions both halves into the enclave (Fig. 1 step 5).
+
+        Args:
+            serial: a number previously returned by :meth:`reserve_serial`;
+                ``None`` (the default) allocates the next one.  Issuing the
+                same serial twice raises :class:`CertificateError`.
         """
+        if serial is None:
+            serial = self._allocate_serial()
         unsigned = Certificate(
-            serial=self._allocate_serial(),
+            serial=serial,
             subject=subject,
             issuer=self.name,
             public_key_bytes=public_key_bytes,
@@ -104,13 +134,18 @@ class CertificateAuthority:
             san=san,
         )
         cert = replace(unsigned, signature=self._key.sign(unsigned.tbs_bytes()))
-        self._issued[cert.serial] = cert
+        with self._lock:
+            if cert.serial in self._issued:
+                raise CertificateError(
+                    f"serial {cert.serial} already issued (double issuance)"
+                )
+            self._issued[cert.serial] = cert
         return cert
 
     def issue_from_csr(self, csr: CertificateSigningRequest, now: int,
                        validity: int = DEFAULT_VALIDITY,
                        key_usage: Tuple[str, ...] = (KEY_USAGE_CLIENT_AUTH,),
-                       ) -> Certificate:
+                       serial: Optional[int] = None) -> Certificate:
         """Issue from a CSR after checking proof of possession.
 
         This is the enclave-generated-key variant: the private key never
@@ -124,6 +159,7 @@ class CertificateAuthority:
             validity=validity,
             key_usage=key_usage,
             san=csr.san,
+            serial=serial,
         )
 
     def issue_server_certificate(self, subject: DistinguishedName,
@@ -145,13 +181,18 @@ class CertificateAuthority:
     def revoke(self, serial: int, now: int,
                reason: str = REASON_UNSPECIFIED) -> None:
         """Mark an issued certificate as revoked."""
-        if serial not in self._issued:
-            raise RevocationError(f"serial {serial} was not issued by this CA")
-        if serial == self.certificate.serial:
-            raise RevocationError("refusing to revoke the root certificate")
-        if any(entry.serial == serial for entry in self._revoked):
-            return  # already revoked: idempotent
-        self._revoked.append(RevokedEntry(serial, now, reason))
+        with self._lock:
+            if serial not in self._issued:
+                raise RevocationError(
+                    f"serial {serial} was not issued by this CA"
+                )
+            if serial == self.certificate.serial:
+                raise RevocationError(
+                    "refusing to revoke the root certificate"
+                )
+            if any(entry.serial == serial for entry in self._revoked):
+                return  # already revoked: idempotent
+            self._revoked.append(RevokedEntry(serial, now, reason))
 
     def current_crl(self, now: int,
                     update_interval: int = 24 * 3600) -> CertificateRevocationList:
@@ -163,25 +204,41 @@ class CertificateAuthority:
         signature for identical bytes.  CRL objects are immutable, so
         sharing the cached instance is safe.
         """
-        key = (now, update_interval, len(self._revoked))
-        if self._crl_cache is not None and self._crl_cache[0] == key:
-            return self._crl_cache[1]
+        with self._lock:
+            key = (now, update_interval, len(self._revoked))
+            if self._crl_cache is not None and self._crl_cache[0] == key:
+                return self._crl_cache[1]
+            revoked = list(self._revoked)
         crl = sign_crl(
-            self._key, self.name, now, now + update_interval, self._revoked
+            self._key, self.name, now, now + update_interval, revoked
         )
-        self._crl_cache = (key, crl)
+        with self._lock:
+            self._crl_cache = (key, crl)
         return crl
 
     # ------------------------------------------------------------- queries
 
+    def is_issued(self, serial: int) -> bool:
+        """Has a certificate with ``serial`` already been issued?
+
+        Lets a retrying enrollment detect that its *reserved* serial was
+        consumed by a previous attempt (which then failed downstream of
+        issuance) and fall back to a fresh allocation instead of tripping
+        the double-issuance guard.
+        """
+        with self._lock:
+            return serial in self._issued
+
     def issued_certificate(self, serial: int) -> Certificate:
         """Look up a certificate this CA issued."""
-        try:
-            return self._issued[serial]
-        except KeyError as exc:
-            raise CertificateError(f"unknown serial {serial}") from exc
+        with self._lock:
+            try:
+                return self._issued[serial]
+            except KeyError as exc:
+                raise CertificateError(f"unknown serial {serial}") from exc
 
     @property
     def issued_count(self) -> int:
         """How many certificates (including the root) have been issued."""
-        return len(self._issued)
+        with self._lock:
+            return len(self._issued)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -27,13 +28,20 @@ class TlsSession:
 
 
 class SessionCache:
-    """Bounded FIFO cache of resumable sessions, keyed by session id."""
+    """Bounded FIFO cache of resumable sessions, keyed by session id.
+
+    Thread-safe: a server shared by concurrent fleet enrollments stores
+    and resumes sessions from many worker threads, so the insert+evict
+    pair and the predicate sweeps run under an internal lock (see
+    ``docs/CONCURRENCY.md``).
+    """
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity <= 0:
             raise TlsError("session cache capacity must be positive")
         self._capacity = capacity
         self._sessions: Dict[bytes, TlsSession] = {}
+        self._lock = threading.RLock()
 
     def store(self, session: TlsSession) -> None:
         """Insert a session, evicting the FIFO-oldest entry when full.
@@ -42,21 +50,24 @@ class SessionCache:
         overwrite does not grow the cache, so evicting an unrelated
         session would silently shrink the effective capacity.
         """
-        if (session.session_id not in self._sessions
-                and len(self._sessions) >= self._capacity):
-            oldest = next(iter(self._sessions))
-            del self._sessions[oldest]
-        self._sessions[session.session_id] = session
+        with self._lock:
+            if (session.session_id not in self._sessions
+                    and len(self._sessions) >= self._capacity):
+                oldest = next(iter(self._sessions))
+                del self._sessions[oldest]
+            self._sessions[session.session_id] = session
 
     def lookup(self, session_id: bytes) -> Optional[TlsSession]:
         """Find a resumable session, or ``None``."""
         if not session_id:
             return None
-        return self._sessions.get(session_id)
+        with self._lock:
+            return self._sessions.get(session_id)
 
     def invalidate(self, session_id: bytes) -> None:
         """Drop a session (e.g. after credential revocation)."""
-        self._sessions.pop(session_id, None)
+        with self._lock:
+            self._sessions.pop(session_id, None)
 
     def invalidate_where(self, predicate) -> int:
         """Drop every session matching ``predicate``; returns the count.
@@ -65,14 +76,16 @@ class SessionCache:
         certificate must also evict the sessions it authenticated —
         otherwise a revoked client could resume forever.
         """
-        doomed = [sid for sid, session in self._sessions.items()
-                  if predicate(session)]
-        for session_id in doomed:
-            del self._sessions[session_id]
-        return len(doomed)
+        with self._lock:
+            doomed = [sid for sid, session in self._sessions.items()
+                      if predicate(session)]
+            for session_id in doomed:
+                del self._sessions[session_id]
+            return len(doomed)
 
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)
 
 
 ClientValidator = Callable[[Certificate], None]
