@@ -1,0 +1,66 @@
+"""Domain-invariant static analysis for the repro tree.
+
+Four rule families turn the repo's prose invariants into mechanical
+checks (see ``docs/ANALYSIS.md`` for the catalogue and baseline policy):
+
+* ``secret-flow`` (SEC*): credentials never leave the enclave boundary —
+  the paper's central claim, checked as a taint analysis.
+* ``lock-order`` (LOCK*): the documented VM → CA → cache and
+  registry → family → child nesting orders from ``docs/CONCURRENCY.md``,
+  plus leaf-innermost and cycle-freedom.
+* ``constant-time`` (CT*): no variable-time comparison/branching on
+  secret bytes inside ``crypto/``.
+* ``hygiene`` (HYG*): bare excepts, mutable defaults, and wall-clock /
+  ambient-entropy bypasses of the deterministic simulation.
+
+Run via ``repro lint [--strict] [--rule RULE]``.
+"""
+
+from repro.analysis.base import (
+    Checker,
+    ModuleContext,
+    iter_package_modules,
+    module_in_enclave,
+)
+from repro.analysis.baseline import (
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    parse_baseline,
+)
+from repro.analysis.ct_checks import ConstantTimeChecker
+from repro.analysis.findings import Finding, assign_ordinals
+from repro.analysis.hygiene import HygieneChecker
+from repro.analysis.lock_order import LockOrderChecker
+from repro.analysis.runner import (
+    AnalysisReport,
+    all_rules,
+    analyze_tree,
+    default_checkers,
+    run_checkers,
+)
+from repro.analysis.secret_flow import SecretFlowChecker
+
+__all__ = [
+    "AnalysisReport",
+    "BaselineEntry",
+    "BaselineError",
+    "Checker",
+    "ConstantTimeChecker",
+    "Finding",
+    "HygieneChecker",
+    "LockOrderChecker",
+    "ModuleContext",
+    "SecretFlowChecker",
+    "all_rules",
+    "analyze_tree",
+    "apply_baseline",
+    "assign_ordinals",
+    "default_checkers",
+    "iter_package_modules",
+    "load_baseline",
+    "module_in_enclave",
+    "parse_baseline",
+    "run_checkers",
+]

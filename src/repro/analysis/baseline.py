@@ -1,0 +1,107 @@
+"""The reviewed-suppressions baseline.
+
+Policy (see ``docs/ANALYSIS.md``): every entry is a *reviewed acceptance*
+of one finding, and every entry must carry a one-line justification.  The
+file is line-oriented so diffs review well::
+
+    # comment / blank lines are ignored
+    <fingerprint> <rule_id> <location-hint> -- <justification>
+
+The fingerprint (see :mod:`repro.analysis.findings`) is what matches; the
+rule id and location hint are redundancy for the human reader, and the
+runner cross-checks the rule id so a stale copy-paste is caught.  Entries
+whose fingerprint no longer matches any finding are reported as *stale*
+(the finding was fixed — delete the line), but stale entries never fail a
+run: a baseline may only ever shrink the set of accepted findings, so
+rot is visible without turning a cleanup into a red build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Default baseline location, relative to the repository root.
+DEFAULT_BASELINE_NAME = ".analysis-baseline"
+
+
+class BaselineError(ValueError):
+    """A malformed baseline file (bad syntax or missing justification)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule_id: str
+    location_hint: str
+    justification: str
+    lineno: int
+
+
+def parse_baseline(text: str, origin: str = "<baseline>") -> List[BaselineEntry]:
+    entries: List[BaselineEntry] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, sep, justification = line.partition(" -- ")
+        justification = justification.strip()
+        if not sep or not justification:
+            raise BaselineError(
+                f"{origin}:{lineno}: baseline entry needs a "
+                f"' -- <justification>' suffix: {raw!r}"
+            )
+        parts = head.split(None, 2)
+        if len(parts) != 3:
+            raise BaselineError(
+                f"{origin}:{lineno}: expected "
+                f"'<fingerprint> <rule_id> <location> -- <why>': {raw!r}"
+            )
+        fingerprint, rule_id, location_hint = parts
+        entries.append(BaselineEntry(fingerprint, rule_id, location_hint,
+                                     justification, lineno))
+    return entries
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    if not path.exists():
+        return []
+    return parse_baseline(path.read_text(), origin=str(path))
+
+
+def apply_baseline(
+    findings: Iterable[Finding], entries: Iterable[BaselineEntry],
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Partition findings into (unbaselined, suppressed, stale-entries)."""
+    by_fingerprint: Dict[str, BaselineEntry] = {}
+    for entry in entries:
+        if entry.fingerprint in by_fingerprint:
+            raise BaselineError(
+                f"duplicate baseline fingerprint {entry.fingerprint} "
+                f"(lines {by_fingerprint[entry.fingerprint].lineno} "
+                f"and {entry.lineno})"
+            )
+        by_fingerprint[entry.fingerprint] = entry
+
+    fresh: List[Finding] = []
+    suppressed: List[Finding] = []
+    matched = set()
+    for finding in findings:
+        entry = by_fingerprint.get(finding.fingerprint)
+        if entry is not None and entry.rule_id == finding.rule_id:
+            suppressed.append(finding)
+            matched.add(entry.fingerprint)
+        else:
+            fresh.append(finding)
+    stale = [entry for fp, entry in sorted(by_fingerprint.items())
+             if fp not in matched]
+    return fresh, suppressed, stale
+
+
+def format_entry(finding: Finding, justification: str) -> str:
+    """Render one baseline line for a finding (used by ``--write-baseline``)."""
+    return (f"{finding.fingerprint} {finding.rule_id} "
+            f"{finding.location} -- {justification}")

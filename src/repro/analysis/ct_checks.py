@@ -1,0 +1,168 @@
+"""CT: constant-time discipline inside ``crypto/``.
+
+Python gives no hard timing guarantees, but the protocol code relies on
+one specific property — *no data-dependent early exit on secret bytes* —
+and routes every secret comparison through
+``repro.crypto.constant_time.ct_bytes_eq`` (the single audited site).
+This checker keeps it that way:
+
+============  ==========================================================
+CT001         ``==``/``!=`` on a secret-looking byte value — use
+              ``constant_time.ct_bytes_eq``
+CT002         secret-dependent branch / early return (``if``/``while``
+              on a secret value that did not pass through
+              ``ct_bytes_eq``)
+CT003         table lookup indexed by a secret byte
+============  ==========================================================
+
+Scope: ``crypto/`` only, excluding ``constant_time.py`` itself (it is
+the sanitizer) and ``ec.py`` (the byte-frozen reference ladder plus the
+fast-path engine — scalar recoding is inherently branch-on-scalar and is
+covered by the module's own documentation, not by this rule family).
+
+Secret-ness is name-driven: identifiers that name keys, tags, MACs,
+digests, or secrets (see :func:`is_secret_identifier`), plus the results
+of ``.digest()``/``.finalize()``.  ``len(…)`` and the blessed
+``ct_bytes_eq``/``ct_select`` sanitize.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.base import (
+    Checker,
+    ModuleContext,
+    call_func_name,
+    walk_functions,
+)
+from repro.analysis.findings import Finding
+
+#: Modules the rule family applies to.
+CT_SCOPE_PREFIX = "crypto/"
+#: The sanitizer module and the byte-frozen reference ladder are exempt.
+CT_EXEMPT = {"crypto/constant_time.py", "crypto/ec.py"}
+
+#: Exact identifiers treated as secret byte values.
+_SECRET_EXACT = {"key", "tag", "mac", "digest", "secret", "expected"}
+#: Suffixes that mark an identifier as secret-bearing.
+_SECRET_SUFFIXES = ("_key", "_tag", "_mac", "_digest", "_secret")
+#: Calls whose result is secret-bearing.
+_SECRET_CALLS = {"digest", "finalize", "hexdigest"}
+#: Calls that sanitize their argument (result is safe to branch on).
+#: ``bool()`` is deliberately absent — truthiness of a secret is secret.
+_SANITIZERS = {"len", "ct_bytes_eq", "ct_select", "isinstance", "type", "id"}
+
+
+def is_secret_identifier(name: str) -> bool:
+    lowered = name.lower().lstrip("_")
+    return (lowered in _SECRET_EXACT
+            or "secret" in lowered
+            or any(lowered.endswith(s) for s in _SECRET_SUFFIXES))
+
+
+class ConstantTimeChecker(Checker):
+    name = "constant-time"
+    rules = {
+        "CT001": "variable-time '=='/'!=' on a secret byte value "
+                 "(use crypto.constant_time.ct_bytes_eq)",
+        "CT002": "secret-dependent branch or early return",
+        "CT003": "table lookup indexed by a secret byte",
+    }
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if (not ctx.relpath.startswith(CT_SCOPE_PREFIX)
+                or ctx.relpath in CT_EXEMPT):
+            return []
+        findings: List[Finding] = []
+        for qual, _cls, func in walk_functions(ctx.tree):
+            findings.extend(_check_function(ctx, qual, func))
+        return findings
+
+
+def _expr_secret(node: ast.AST) -> bool:
+    """Name-driven secret-ness of an expression (no assignment tracking:
+    crypto code is small and names its secrets)."""
+    if isinstance(node, ast.Name):
+        return is_secret_identifier(node.id)
+    if isinstance(node, ast.Attribute):
+        return is_secret_identifier(node.attr) or _expr_secret(node.value)
+    if isinstance(node, ast.Subscript):
+        return _expr_secret(node.value)
+    if isinstance(node, ast.BinOp):
+        return _expr_secret(node.left) or _expr_secret(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _expr_secret(node.operand)
+    if isinstance(node, ast.Call):
+        fname = call_func_name(node)
+        if fname in _SANITIZERS:
+            return False
+        if fname in _SECRET_CALLS:
+            return True
+        return False  # other calls sanitize (derivations are not secrets)
+    if isinstance(node, ast.IfExp):
+        return _expr_secret(node.body) or _expr_secret(node.orelse)
+    return False
+
+
+def _compare_is_length_check(node: ast.Compare) -> bool:
+    """``len(tag) != 16``-style checks are public-length checks, fine."""
+    sides = [node.left] + list(node.comparators)
+    return any(isinstance(s, ast.Call) and call_func_name(s) == "len"
+               for s in sides)
+
+
+def _check_function(
+    ctx: ModuleContext, qual: str, func: ast.AST,
+) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def finding(rule: str, node: ast.AST, detail: str) -> None:
+        findings.append(Finding(
+            rule_id=rule, severity="error" if rule != "CT003" else "warning",
+            relpath=ctx.relpath, line=node.lineno, col=node.col_offset,
+            symbol=qual,
+            message=f"{ConstantTimeChecker.rules[rule]}: {detail}",
+        ))
+
+    def describe(node: ast.AST) -> str:
+        return ast.unparse(node)[:60]
+
+    flagged_compares: List[ast.Compare] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Compare):
+            eqish = [op for op in node.ops
+                     if isinstance(op, (ast.Eq, ast.NotEq))]
+            if not eqish or _compare_is_length_check(node):
+                continue
+            sides = [node.left] + list(node.comparators)
+            if any(_expr_secret(s) for s in sides):
+                # Comparing against a literal int/None is a structural
+                # check (``if key is None``, ``s == 0`` is out of scope
+                # for *byte* secrets only when the secret side is a call
+                # result or name we track) — still flag ``== b"..."``.
+                if any(isinstance(s, ast.Constant)
+                       and not isinstance(s.value, (bytes, str))
+                       for s in sides):
+                    continue
+                finding("CT001", node, describe(node))
+                flagged_compares.append(node)
+        elif isinstance(node, (ast.If, ast.While)):
+            test = node.test
+            # Branching on ct_bytes_eq's verdict is the sanctioned
+            # pattern; branching on a Compare is CT001's business.
+            inner = test
+            while isinstance(inner, ast.UnaryOp):
+                inner = inner.operand
+            if isinstance(inner, ast.Compare):
+                continue
+            if _expr_secret(inner):
+                finding("CT002", node, describe(test))
+        elif isinstance(node, ast.Subscript):
+            index = node.slice
+            if isinstance(index, ast.Slice):
+                continue
+            if _expr_secret(index):
+                finding("CT003", node, describe(node))
+    return findings

@@ -1,0 +1,88 @@
+"""The ``Finding`` record every checker emits.
+
+A finding is a *located, fingerprinted* diagnostic: ``rule_id`` names the
+invariant that was violated, ``relpath:line`` points at the code, and the
+``fingerprint`` is a stable identity used by the baseline file so that an
+accepted finding stays suppressed across unrelated edits (fingerprints
+deliberately exclude line numbers — they hash the rule, the module, the
+enclosing symbol, and the message instead).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+#: Severity levels, in increasing order of importance.  ``error`` findings
+#: fail a default run; ``warning`` findings only fail ``--strict`` runs.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a checker."""
+
+    rule_id: str          # e.g. "SEC001"
+    severity: str         # "error" | "warning"
+    relpath: str          # module path relative to the repro package
+    line: int             # 1-based source line
+    col: int              # 0-based column
+    symbol: str           # enclosing qualname ("Class.method" or "<module>")
+    message: str          # human-readable, deterministic (no line numbers)
+    ordinal: int = field(default=0, compare=False)  # de-dup index, see below
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def location(self) -> str:
+        return f"src/repro/{self.relpath}:{self.line}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Line/column are excluded on purpose: inserting a docstring above a
+        baselined finding must not un-suppress it.  When several findings in
+        one symbol share rule and message, ``ordinal`` (assigned in source
+        order by :func:`assign_ordinals`) disambiguates them.
+        """
+        seed = "|".join(
+            (self.rule_id, self.relpath, self.symbol, self.message,
+             str(self.ordinal))
+        )
+        return hashlib.sha256(seed.encode("utf-8")).hexdigest()[:12]
+
+    def render(self) -> str:
+        return (f"{self.location}: {self.severity} {self.rule_id} "
+                f"[{self.symbol}] {self.message}")
+
+
+def assign_ordinals(findings: Iterable[Finding]) -> List[Finding]:
+    """Return findings with ordinals set so fingerprints are unique.
+
+    Findings that would otherwise collide (same rule, module, symbol, and
+    message — e.g. two bare ``except:`` blocks in one function) are numbered
+    0, 1, 2… in (line, col) order, which keeps fingerprints stable as long
+    as the *relative* order of the duplicates does not change.
+    """
+    ordered = sorted(findings, key=lambda f: (f.relpath, f.line, f.col,
+                                              f.rule_id))
+    seen: Dict[str, int] = {}
+    out: List[Finding] = []
+    for finding in ordered:
+        key = "|".join((finding.rule_id, finding.relpath, finding.symbol,
+                        finding.message))
+        ordinal = seen.get(key, 0)
+        seen[key] = ordinal + 1
+        if ordinal != finding.ordinal:
+            finding = Finding(
+                rule_id=finding.rule_id, severity=finding.severity,
+                relpath=finding.relpath, line=finding.line, col=finding.col,
+                symbol=finding.symbol, message=finding.message,
+                ordinal=ordinal,
+            )
+        out.append(finding)
+    return out

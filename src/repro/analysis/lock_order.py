@@ -1,0 +1,446 @@
+"""LOCK: the documented lock-nesting order, checked statically.
+
+``docs/CONCURRENCY.md`` fixes two ordered chains —
+
+* **core:**    VM lock → CA lock → cache locks
+* **metrics:** registry lock → family lock → child lock
+
+— plus a set of *leaf* locks (clock, audit, per-host fleet locks, the
+keystore lock, the pooled-IAS lock, the agent-channel lock, …) that must
+be innermost: a thread holding a leaf may not take any chain lock.
+
+The checker reconstructs the static lock graph in two steps per function:
+
+1. every ``with <lock>:`` / ``<lock>.acquire()`` is mapped to a *domain*
+   via :data:`LOCK_SITES` (which lock attribute, in which module/class,
+   guards what — the table mirrors the catalogue in CONCURRENCY.md);
+2. while a domain is held, both directly nested acquisitions *and* calls
+   through domain-hinted attributes (``self._ca.issue(…)`` while holding
+   the VM lock ⇒ edge ``vm → ca``) contribute edges.
+
+Edges are validated against the chain ranks (LOCK001), the leaf rule
+(LOCK002), the chain-direction rule (LOCK003), and — after all modules
+have been folded into one graph — cycle-freedom (LOCK004).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import Checker, ModuleContext, walk_functions
+from repro.analysis.findings import Finding
+
+# --------------------------------------------------------------------------
+# The documented order (keep in sync with docs/CONCURRENCY.md)
+# --------------------------------------------------------------------------
+
+#: Ordered chains: a lock may only be taken while holding locks strictly
+#: *earlier* in its own chain.
+ORDER_CHAINS: Dict[str, Tuple[str, ...]] = {
+    "core": ("vm", "ca", "cache"),
+    "metrics": ("registry", "family", "child"),
+}
+
+#: Leaf locks are innermost: taking any chain lock while holding one is a
+#: violation.  (``AuditLog`` observers are the canonical case — they may
+#: take the VM lock, which is exactly why ``record`` invokes them *after*
+#: releasing the audit lock.)
+LEAF_DOMAINS: Set[str] = {
+    "clock", "audit", "tracer", "simnet", "agent",
+    "ias_pool", "ec_stats",
+}
+
+#: Fleet-outer locks wrap whole operations *before* the core machinery
+#: runs: the per-host single-flight lock is held across the entire host
+#: attestation (VM lock included — that is the mechanism, not an
+#: accident), and the keystore lock wraps a VM certificate lookup.
+#: They may nest chain locks inside, but never each other and never a
+#: second instance of themselves (see LOCK005).
+OUTER_DOMAINS: Set[str] = {"host", "keystore"}
+
+#: Domains guarded by a non-reentrant ``threading.Lock`` (or, for
+#: ``host``, by per-instance leaf locks where a second acquisition means
+#: a *second host's* lock).  A same-domain edge here is a self-deadlock
+#: or a forbidden two-instance hold.
+NON_REENTRANT_DOMAINS: Set[str] = {
+    "clock", "audit", "ec_stats", "host", "keystore", "cache",
+}
+
+#: Cross-chain nesting: holding a ``core`` lock while updating a metric
+#: (registry → family → child) is legitimate; a metric child calling back
+#: into the core chain is not.
+CHAIN_MAY_NEST: Dict[str, Set[str]] = {
+    "core": {"metrics"},
+    "metrics": set(),
+}
+
+#: (module relpath, class name or None=any, lock attribute) -> domain.
+#: This is the machine-readable version of the "what each lock guards"
+#: table in docs/CONCURRENCY.md.
+LOCK_SITES: Dict[Tuple[str, Optional[str], str], str] = {
+    ("core/verification_manager.py", None, "_lock"): "vm",
+    ("pki/ca.py", None, "_lock"): "ca",
+    ("core/verification_cache.py", None, "_lock"): "cache",
+    ("tls/session.py", None, "_lock"): "cache",
+    ("crypto/ec.py", "EcEngineStats", "_lock"): "ec_stats",
+    ("crypto/ec.py", None, "_lock"): "cache",
+    ("core/events.py", None, "_lock"): "audit",
+    ("net/clock.py", None, "_lock"): "clock",
+    ("net/simnet.py", None, "_lock"): "simnet",
+    ("obs/tracing.py", None, "_lock"): "tracer",
+    ("core/host_agent.py", None, "_lock"): "agent",
+    ("core/fleet.py", None, "_pool_lock"): "ias_pool",
+    ("core/fleet.py", None, "_keystore_lock"): "keystore",
+    ("core/fleet.py", None, "_host_locks"): "host",
+    ("obs/registry.py", "MetricsRegistry", "_lock"): "registry",
+    ("obs/registry.py", None, "_family_lock"): "family",
+    ("obs/registry.py", "CounterChild", "_lock"): "child",
+    ("obs/registry.py", "GaugeChild", "_lock"): "child",
+    ("obs/registry.py", "HistogramChild", "_lock"): "child",
+}
+
+#: Attribute-name hints used to resolve *calls made while holding a lock*
+#: to the domain the callee will lock.  ``self._ca.issue(…)`` inside a
+#: VM-locked region adds the edge vm → ca even though the CA's own
+#: ``with self._lock`` lives in another module.
+ATTR_HINTS: Dict[str, str] = {
+    "_ca": "ca", "ca": "ca",
+    "_cache": "cache", "_verification_cache": "cache",
+    "verification_cache": "cache",
+    "_session_cache": "cache", "session_cache": "cache",
+    "_vm": "vm", "vm": "vm",
+    "_registry": "registry",
+    "_clock": "clock", "clock": "clock",
+    "_audit": "audit", "audit": "audit",
+    "_tracer": "tracer", "tracer": "tracer",
+    "stats": "ec_stats",
+}
+
+_RANK: Dict[str, Tuple[str, int]] = {
+    domain: (chain, rank)
+    for chain, domains in ORDER_CHAINS.items()
+    for rank, domain in enumerate(domains)
+}
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``outer`` was held when ``inner`` was acquired (or implied)."""
+
+    outer: str
+    inner: str
+    relpath: str
+    line: int
+    symbol: str
+    via_call: bool  # edge inferred from a hinted call, not a nested with
+
+
+class LockOrderChecker(Checker):
+    name = "lock-order"
+    rules = {
+        "LOCK001": "lock acquired against its chain's documented order",
+        "LOCK002": "chain lock acquired while holding a leaf lock",
+        "LOCK003": "cross-chain lock nesting in a forbidden direction",
+        "LOCK004": "cycle in the static lock graph",
+        "LOCK005": "non-reentrant lock domain re-acquired while held",
+    }
+
+    def __init__(self) -> None:
+        self._edges: List[LockEdge] = []
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        edges: List[LockEdge] = []
+        for qual, cls, func in walk_functions(ctx.tree):
+            collector = _FunctionLockWalker(ctx.relpath, cls, qual)
+            collector.walk(func)
+            edges.extend(collector.edges)
+        self._edges.extend(edges)
+        return [f for edge in edges for f in _edge_findings(edge)]
+
+    def finalize(self) -> Iterable[Finding]:
+        findings = list(_cycle_findings(self._edges))
+        self._edges = []
+        return findings
+
+
+# --------------------------------------------------------------------------
+# Per-function extraction
+# --------------------------------------------------------------------------
+
+def _lock_domain_for_site(
+    relpath: str, cls: Optional[str], attr: str,
+) -> Optional[str]:
+    if cls is not None:
+        domain = LOCK_SITES.get((relpath, cls, attr))
+        if domain is not None:
+            return domain
+    return LOCK_SITES.get((relpath, None, attr))
+
+
+class _FunctionLockWalker:
+    """Extract lock-nesting edges from one function body."""
+
+    def __init__(self, relpath: str, cls: Optional[str], qual: str) -> None:
+        self.relpath = relpath
+        self.cls = cls
+        self.qual = qual
+        self.edges: List[LockEdge] = []
+        #: local variable -> lock domain (``lock = self._host_locks[h]``)
+        self.lock_aliases: Dict[str, str] = {}
+
+    # -- resolution --------------------------------------------------------
+
+    def _acquired_domain(self, expr: ast.AST) -> Optional[str]:
+        """Domain of the lock object in ``with <expr>`` / ``<expr>.acquire()``."""
+        if isinstance(expr, ast.Attribute):
+            domain = _lock_domain_for_site(self.relpath, self.cls, expr.attr)
+            if domain is not None:
+                return domain
+        if isinstance(expr, ast.Subscript):
+            return self._acquired_domain(expr.value)
+        if isinstance(expr, ast.Name):
+            return self.lock_aliases.get(expr.id)
+        return None
+
+    def _called_domain(self, call: ast.Call) -> Optional[str]:
+        """Domain a call will lock, resolved through attribute hints."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = func.value
+        hint: Optional[str] = None
+        if isinstance(receiver, ast.Attribute):
+            hint = receiver.attr
+        elif isinstance(receiver, ast.Name) and receiver.id != "self":
+            hint = receiver.id
+        if hint is None:
+            return None
+        return ATTR_HINTS.get(hint)
+
+    # -- walking -----------------------------------------------------------
+
+    def walk(self, func: ast.AST) -> None:
+        self._walk_block(getattr(func, "body", []), held=())
+
+    def _note_alias(self, stmt: ast.Assign) -> None:
+        domain = self._acquired_domain(stmt.value)
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                if domain is not None:
+                    self.lock_aliases[target.id] = domain
+                else:
+                    self.lock_aliases.pop(target.id, None)
+
+    def _add_edges(self, held: Sequence[str], inner: str, line: int,
+                   via_call: bool) -> None:
+        for outer in held:
+            if outer == inner:
+                if inner in NON_REENTRANT_DOMAINS and not via_call:
+                    # Direct re-acquisition of a Lock-guarded domain (or
+                    # a second per-host/keystore instance): LOCK005.
+                    # Hinted *calls* back into the same domain are almost
+                    # always a sibling instance's public API and RLock
+                    # domains re-enter fine, so only direct nesting fires.
+                    self.edges.append(LockEdge(
+                        outer=outer, inner=inner, relpath=self.relpath,
+                        line=line, symbol=self.qual, via_call=via_call,
+                    ))
+                continue  # re-entrant RLock on the same domain
+            self.edges.append(LockEdge(
+                outer=outer, inner=inner, relpath=self.relpath,
+                line=line, symbol=self.qual, via_call=via_call,
+            ))
+
+    def _scan_calls(self, node: ast.AST, held: Sequence[str]) -> None:
+        if not held:
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                domain = self._called_domain(sub)
+                if domain is not None:
+                    self._add_edges(held, domain, sub.lineno, via_call=True)
+
+    def _walk_block(self, stmts, held: Tuple[str, ...]) -> None:
+        # ``x.acquire()`` extends the held set for the rest of the block
+        # (until a matching ``x.release()`` at the same nesting level).
+        block_held = held
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.Assign):
+                self._note_alias(stmt)
+                self._scan_calls(stmt.value, block_held)
+                continue
+            if isinstance(stmt, ast.With):
+                inner_held = block_held
+                for item in stmt.items:
+                    domain = self._acquired_domain(item.context_expr)
+                    if domain is not None:
+                        self._add_edges(inner_held, domain,
+                                        item.context_expr.lineno,
+                                        via_call=False)
+                        inner_held = inner_held + (domain,)
+                    else:
+                        self._scan_calls(item.context_expr, block_held)
+                self._walk_block(stmt.body, inner_held)
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                call = stmt.value
+                verb = (call.func.attr
+                        if isinstance(call.func, ast.Attribute) else None)
+                if verb == "acquire":
+                    domain = self._acquired_domain(call.func.value)
+                    if domain is not None:
+                        self._add_edges(block_held, domain, call.lineno,
+                                        via_call=False)
+                        block_held = block_held + (domain,)
+                        continue
+                if verb == "release":
+                    domain = self._acquired_domain(call.func.value)
+                    if domain is not None and domain in block_held:
+                        idx = len(block_held) - 1 - tuple(
+                            reversed(block_held)).index(domain)
+                        block_held = block_held[:idx] + block_held[idx + 1:]
+                        continue
+                self._scan_calls(stmt, block_held)
+                continue
+            if isinstance(stmt, (ast.If, ast.While)):
+                self._scan_calls(stmt.test, block_held)
+                self._walk_block(stmt.body, block_held)
+                self._walk_block(stmt.orelse, block_held)
+                continue
+            if isinstance(stmt, ast.For):
+                self._scan_calls(stmt.iter, block_held)
+                self._walk_block(stmt.body, block_held)
+                self._walk_block(stmt.orelse, block_held)
+                continue
+            if isinstance(stmt, ast.Try):
+                self._walk_block(stmt.body, block_held)
+                for handler in stmt.handlers:
+                    self._walk_block(handler.body, block_held)
+                self._walk_block(stmt.orelse, block_held)
+                self._walk_block(stmt.finalbody, block_held)
+                continue
+            self._scan_calls(stmt, block_held)
+
+
+# --------------------------------------------------------------------------
+# Edge validation + cycle detection
+# --------------------------------------------------------------------------
+
+def _edge_findings(edge: LockEdge) -> Iterable[Finding]:
+    how = "call into" if edge.via_call else "acquisition of"
+    outer_info = _RANK.get(edge.outer)
+    inner_info = _RANK.get(edge.inner)
+
+    if edge.outer == edge.inner:
+        yield Finding(
+            rule_id="LOCK005", severity="error", relpath=edge.relpath,
+            line=edge.line, col=0, symbol=edge.symbol,
+            message=(f"'{edge.inner}' re-acquired while already held — "
+                     f"self-deadlock on a non-reentrant lock, or a second "
+                     f"instance of a single-flight lock"),
+        )
+        return
+    if edge.outer in LEAF_DOMAINS and (inner_info is not None
+                                       or edge.inner in OUTER_DOMAINS):
+        yield Finding(
+            rule_id="LOCK002", severity="error", relpath=edge.relpath,
+            line=edge.line, col=0, symbol=edge.symbol,
+            message=(f"leaf lock '{edge.outer}' held during {how} "
+                     f"lock '{edge.inner}' — leaf locks must be innermost"),
+        )
+        return
+    if edge.inner in OUTER_DOMAINS:
+        yield Finding(
+            rule_id="LOCK002", severity="error", relpath=edge.relpath,
+            line=edge.line, col=0, symbol=edge.symbol,
+            message=(f"fleet-outer lock '{edge.inner}' acquired while "
+                     f"holding '{edge.outer}' — outer locks wrap whole "
+                     f"operations and must be taken first"),
+        )
+        return
+    if edge.outer in OUTER_DOMAINS:
+        return  # outer locks may wrap chain and leaf locks (single-flight)
+    if outer_info is None or inner_info is None:
+        return  # leaf→leaf or chain→leaf nesting is allowed
+    outer_chain, outer_rank = outer_info
+    inner_chain, inner_rank = inner_info
+    if outer_chain == inner_chain:
+        if inner_rank <= outer_rank:
+            chain = " → ".join(ORDER_CHAINS[outer_chain])
+            yield Finding(
+                rule_id="LOCK001", severity="error", relpath=edge.relpath,
+                line=edge.line, col=0, symbol=edge.symbol,
+                message=(f"{how} '{edge.inner}' lock while holding "
+                         f"'{edge.outer}' violates the documented "
+                         f"{chain} order"),
+            )
+    elif inner_chain not in CHAIN_MAY_NEST.get(outer_chain, set()):
+        yield Finding(
+            rule_id="LOCK003", severity="error", relpath=edge.relpath,
+            line=edge.line, col=0, symbol=edge.symbol,
+            message=(f"{how} '{edge.inner}' ({inner_chain} chain) while "
+                     f"holding '{edge.outer}' ({outer_chain} chain) — "
+                     f"only {outer_chain} → "
+                     f"{sorted(CHAIN_MAY_NEST.get(outer_chain, set()))} "
+                     f"nesting is documented"),
+        )
+
+
+def _cycle_findings(edges: Sequence[LockEdge]) -> Iterable[Finding]:
+    graph: Dict[str, Set[str]] = {}
+    samples: Dict[Tuple[str, str], LockEdge] = {}
+    for edge in edges:
+        if edge.outer == edge.inner:
+            continue  # self-edges are LOCK005's business, not a cycle
+        graph.setdefault(edge.outer, set()).add(edge.inner)
+        graph.setdefault(edge.inner, set())
+        samples.setdefault((edge.outer, edge.inner), edge)
+
+    # Iterative DFS cycle detection with path recovery.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    reported: Set[Tuple[str, ...]] = set()
+
+    def dfs(start: str) -> None:
+        stack: List[Tuple[str, Iterable[str]]] = [(start, iter(sorted(graph[start])))]
+        path = [start]
+        color[start] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color[nxt] == GRAY:
+                    cycle = tuple(path[path.index(nxt):] + [nxt])
+                    key = tuple(sorted(set(cycle)))
+                    if key not in reported:
+                        reported.add(key)
+                        sample = samples[(node, nxt)]
+                        yield_cycles.append((cycle, sample))
+                elif color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    path.append(nxt)
+                    stack.append((nxt, iter(sorted(graph[nxt]))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                if path and path[-1] == node:
+                    path.pop()
+
+    yield_cycles: List[Tuple[Tuple[str, ...], LockEdge]] = []
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            dfs(node)
+    for cycle, sample in yield_cycles:
+        yield Finding(
+            rule_id="LOCK004", severity="error", relpath=sample.relpath,
+            line=sample.line, col=0, symbol=sample.symbol,
+            message=("static lock graph contains a cycle: "
+                     + " → ".join(cycle)),
+        )

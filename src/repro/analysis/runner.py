@@ -1,0 +1,180 @@
+"""The analysis runner: collect → fingerprint → baseline → report.
+
+Exposed as ``repro lint`` (see :mod:`repro.cli`).  Exit codes follow the
+strict/warn convention shared with ``tools/bench_compare.py``:
+
+* default: unbaselined **errors** fail (exit 1); warnings are printed
+  but do not fail the run;
+* ``--strict``: *any* unbaselined finding fails (the CI gate);
+* exit 2: the run itself is broken (unparseable module, malformed
+  baseline) — a broken pipeline must never look green.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.base import Checker, ModuleContext, iter_package_modules
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    format_entry,
+    load_baseline,
+)
+from repro.analysis.ct_checks import ConstantTimeChecker
+from repro.analysis.findings import Finding, assign_ordinals
+from repro.analysis.hygiene import HygieneChecker
+from repro.analysis.lock_order import LockOrderChecker
+from repro.analysis.secret_flow import SecretFlowChecker
+
+
+def default_checkers() -> List[Checker]:
+    """Fresh checker instances (the lock-order checker is stateful)."""
+    return [
+        SecretFlowChecker(),
+        LockOrderChecker(),
+        ConstantTimeChecker(),
+        HygieneChecker(),
+    ]
+
+
+def all_rules() -> dict:
+    rules = {}
+    for checker in default_checkers():
+        for rule_id, description in checker.rules.items():
+            rules[rule_id] = (checker.name, description)
+    return rules
+
+
+def package_root() -> Path:
+    """The ``src/repro`` directory this installation runs from."""
+    return Path(__file__).resolve().parent.parent
+
+
+def repo_root() -> Path:
+    """``src/repro`` → repository root (two levels up from the package)."""
+    return package_root().parent.parent
+
+
+@dataclass
+class AnalysisReport:
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_entries: List[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+
+def run_checkers(
+    modules: Iterable[ModuleContext],
+    checkers: Optional[Sequence[Checker]] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run checkers over modules; returns ordinal-assigned findings."""
+    active = list(checkers) if checkers is not None else default_checkers()
+    findings: List[Finding] = []
+    for ctx in modules:
+        for checker in active:
+            findings.extend(checker.check_module(ctx))
+    for checker in active:
+        findings.extend(checker.finalize())
+    if rules:
+        wanted = set(rules)
+        findings = [f for f in findings if f.rule_id in wanted]
+    return assign_ordinals(findings)
+
+
+def analyze_tree(
+    root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    root = root or package_root()
+    baseline_path = baseline_path or (repo_root() / DEFAULT_BASELINE_NAME)
+    findings = run_checkers(iter_package_modules(root), rules=rules)
+    entries = load_baseline(baseline_path)
+    if rules:
+        wanted = set(rules)
+        entries = [e for e in entries if e.rule_id in wanted]
+    fresh, suppressed, stale = apply_baseline(findings, entries)
+    return AnalysisReport(findings=fresh, suppressed=suppressed,
+                          stale_entries=stale)
+
+
+# --------------------------------------------------------------------------
+# CLI surface (invoked from repro.cli)
+# --------------------------------------------------------------------------
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on any unbaselined finding, warnings "
+                             "included (the CI gate)")
+    parser.add_argument("--rule", action="append", metavar="RULE_ID",
+                        help="run only these rule ids (repeatable), "
+                             "e.g. --rule LOCK001 --rule SEC002")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: "
+                             f"<repo>/{DEFAULT_BASELINE_NAME})")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="package root to analyze (default: the "
+                             "installed repro package)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="print baseline lines for every unbaselined "
+                             "finding (paste into the baseline after "
+                             "review, adding a justification)")
+
+
+def run_lint(args, out) -> int:
+    if args.list_rules:
+        for rule_id, (checker, description) in sorted(all_rules().items()):
+            out.write(f"{rule_id}  [{checker}] {description}\n")
+        return 0
+
+    unknown = set(args.rule or ()) - set(all_rules())
+    if unknown:
+        out.write(f"error: unknown rule id(s): {', '.join(sorted(unknown))}\n")
+        return 2
+
+    try:
+        report = analyze_tree(root=args.root, baseline_path=args.baseline,
+                              rules=args.rule)
+    except (BaselineError, SyntaxError) as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+
+    if args.write_baseline:
+        for finding in report.findings:
+            out.write(format_entry(finding, "TODO: justify") + "\n")
+        return 0 if not report.findings else 1
+
+    for finding in report.findings:
+        out.write(finding.render() + "\n")
+    for entry in report.stale_entries:
+        out.write(f"stale baseline entry (finding fixed? delete the "
+                  f"line): {entry.fingerprint} {entry.rule_id} "
+                  f"{entry.location_hint}\n")
+
+    out.write(
+        f"analysis: {len(report.errors)} error(s), "
+        f"{len(report.warnings)} warning(s), "
+        f"{len(report.suppressed)} baselined, "
+        f"{len(report.stale_entries)} stale baseline entr"
+        f"{'y' if len(report.stale_entries) == 1 else 'ies'}\n"
+    )
+
+    if args.strict:
+        return 1 if report.findings else 0
+    return 1 if report.errors else 0

@@ -7,6 +7,7 @@ Examples::
     python -m repro enroll --vnfs 3 --csr
     python -m repro fleet --vnfs 16 --workers 8
     python -m repro metrics --vnfs 2
+    python -m repro lint --strict
     python -m repro experiments
 """
 
@@ -87,6 +88,13 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--traces", action="store_true",
                          help="print the trace JSON instead of the "
                               "Prometheus scrape text")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the domain-invariant static analyzers (secret-flow, "
+             "lock-order, constant-time, hygiene; see docs/ANALYSIS.md)")
+    from repro.analysis.runner import add_lint_arguments
+    add_lint_arguments(lint)
 
     sub.add_parser("experiments",
                    help="list the experiment index (see EXPERIMENTS.md)")
@@ -219,6 +227,11 @@ def _cmd_metrics(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    from repro.analysis.runner import run_lint
+    return run_lint(args, out)
+
+
 def _cmd_experiments(args, out) -> int:
     for exp_id, title, path in EXPERIMENTS:
         out.write(f"{exp_id}  {title:45s} {path}\n")
@@ -236,6 +249,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "enroll": _cmd_enroll,
         "fleet": _cmd_fleet,
         "metrics": _cmd_metrics,
+        "lint": _cmd_lint,
         "experiments": _cmd_experiments,
     }
     try:

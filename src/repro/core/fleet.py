@@ -37,6 +37,7 @@ everything the workers share are catalogued in ``docs/CONCURRENCY.md``.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -104,10 +105,9 @@ class PooledIasClient(IasClient):
             conn = self._pooled_conn
             self._pooled_conn = None
             if conn is not None:
-                try:
+                # Best-effort: a dropped channel cannot block teardown.
+                with contextlib.suppress(NetError, ChannelClosed):
                     conn.close()
-                except (NetError, ChannelClosed):  # pragma: no cover
-                    pass
 
 
 @dataclass

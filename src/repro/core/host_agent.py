@@ -12,6 +12,7 @@ themselves established via attestation.)
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from typing import Dict
 
@@ -149,10 +150,9 @@ class HostAgentClient(RetryingMixin):
 
     def _reset_channel(self) -> None:
         if self._channel is not None and not self._channel.closed:
-            try:
+            # close must never mask the error being recovered from
+            with contextlib.suppress(NetError):
                 self._channel.close()
-            except NetError:  # pragma: no cover — close must never mask
-                pass
         self._channel = None
 
     def _exchange(self, payload: bytes) -> bytes:

@@ -23,6 +23,7 @@ A sweep distinguishes two very different kinds of bad news:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -125,13 +126,11 @@ class ReattestationMonitor:
     def _punish(self, host_name: str) -> List[str]:
         revoked = self._vm.distrust_host(host_name)
         if self._ias_service is not None:
-            try:
+            # The platform may simply never have been registered with
+            # this IAS instance; that must not mask the (already
+            # completed) local revocation.  Anything else propagates.
+            with contextlib.suppress(IasError):
                 self._ias_service.revoke_platform(host_name)
-            except IasError:
-                # The platform may simply never have been registered with
-                # this IAS instance; that must not mask the (already
-                # completed) local revocation.  Anything else propagates.
-                pass
             # EPID revocation at IAS changes the verdict future submissions
             # of this platform's old quotes would get, so any memoised
             # verdict for the host is now stale.  ``distrust_host`` already

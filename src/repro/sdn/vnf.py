@@ -10,6 +10,7 @@ same ``request`` API so experiments can swap them.
 
 from __future__ import annotations
 
+import contextlib
 import json
 from typing import Dict, List, Optional
 
@@ -122,10 +123,9 @@ class VnfRestClient(ControllerOps, RetryingMixin):
     def close(self) -> None:
         """Close the persistent connection (if any)."""
         if self._stream is not None and not self._stream.closed:
-            try:
+            # a dropped channel cannot block a local close
+            with contextlib.suppress(NetError):
                 self._stream.close()
-            except NetError:
-                pass  # a dropped channel cannot block a local close
         self._stream = None
 
     # ------------------------------------------------------------- requests

@@ -10,6 +10,7 @@ three security modes share one code path.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Callable, Optional
 
 from repro.errors import ChannelClosed, NetError, TlsAlert, TlsError
@@ -129,12 +130,10 @@ class TlsConnection:
         if self._closed:
             return
         self._closed = True
-        try:
+        with contextlib.suppress(ChannelClosed):
             payload = alerts.encode_alert(alerts.LEVEL_WARNING,
                                           alerts.CLOSE_NOTIFY)
             self._channel.send(self._records.encode(CONTENT_ALERT, payload))
-        except ChannelClosed:
-            pass
         self._channel.close()
 
     @property

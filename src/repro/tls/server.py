@@ -10,6 +10,7 @@ or by a pluggable validator (the Floodlight keystore model).
 
 from __future__ import annotations
 
+import contextlib
 from typing import Callable, Optional
 
 from repro.crypto.constant_time import ct_bytes_eq
@@ -136,11 +137,11 @@ class _ServerHandshake:
 
     def _fail(self, description: int, message: str) -> None:
         payload = alerts.encode_alert(alerts.LEVEL_FATAL, description)
-        try:
+        # Best-effort alert delivery: the fatal TlsAlert below is the
+        # real signal, so nothing the channel does may mask it.
+        with contextlib.suppress(Exception):
             self._channel.send(self._records.encode(CONTENT_ALERT, payload))
             self._channel.close()
-        except Exception:  # noqa: BLE001 — best-effort alert delivery
-            pass
         raise TlsAlert(description, message)
 
     # ------------------------------------------------------------- messages
@@ -289,10 +290,11 @@ class _ServerHandshake:
         self._client_cert_verified = True
 
     def _on_client_finished(self, message: hs.Finished) -> None:
-        if self._client_certificate is not None and self._resumed_session is None:
-            if not self._client_cert_verified:
-                self._fail(alerts.ACCESS_DENIED,
-                           "client certificate without CertificateVerify")
+        if (self._client_certificate is not None
+                and self._resumed_session is None
+                and not self._client_cert_verified):
+            self._fail(alerts.ACCESS_DENIED,
+                       "client certificate without CertificateVerify")
         expected_hash, _ = self._buffer.snapshot_before[HS_FINISHED]
         expected = finished_verify_data(self._master_secret, expected_hash,
                                         from_client=True)

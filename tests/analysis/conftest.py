@@ -1,0 +1,40 @@
+"""Helpers for the analyzer tests.
+
+Fixture files are parsed (never imported) and analyzed under a *virtual*
+in-tree path, so path-scoped behavior — the enclave boundary, lock
+domains keyed to modules, the ``crypto/`` constant-time scope — is
+exercised exactly as it is on the live tree.
+"""
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+import pytest
+
+from repro.analysis import Checker, ModuleContext, run_checkers
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture_context(name: str, virtual_path: str) -> ModuleContext:
+    source = (FIXTURES / name).read_text()
+    return ModuleContext(relpath=virtual_path, source=source)
+
+
+def analyze_fixture(
+    name: str,
+    virtual_path: str,
+    checkers: Sequence[Checker],
+    rules: Optional[Sequence[str]] = None,
+):
+    return run_checkers([fixture_context(name, virtual_path)],
+                        checkers=checkers, rules=rules)
+
+
+def rule_ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES

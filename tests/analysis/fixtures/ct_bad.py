@@ -1,0 +1,32 @@
+"""Seeded CT violations — analyzed as a crypto/ module (not exempt)."""
+
+
+def variable_time_tag_check(tag, expected_tag):
+    if tag != expected_tag:          # CT001: use ct_bytes_eq
+        return False
+    return True
+
+
+def variable_time_mac_eq(message, mac, derive):
+    computed_mac = derive(message)
+    return computed_mac == mac       # CT001
+
+
+def digest_compare(h, tag):
+    return h.digest() == tag         # CT001 (secret-bearing call result)
+
+
+def secret_dependent_branch(key):
+    if key[0] & 1:                   # CT002: branch on a secret byte
+        return 1
+    return 0
+
+
+def secret_early_return(secret):
+    while secret:                    # CT002: loop guard on a secret
+        secret = secret[1:]
+    return 0
+
+
+def secret_table_lookup(sbox, key):
+    return sbox[key[0]]              # CT003: table indexed by secret byte

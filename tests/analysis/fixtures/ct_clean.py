@@ -1,0 +1,30 @@
+"""Constant-time discipline done right — zero CT findings."""
+
+
+def sanctioned_tag_check(ct_bytes_eq, tag, expected_tag):
+    if not ct_bytes_eq(expected_tag, tag):   # blessed comparator
+        raise ValueError("authentication failed")
+    return True
+
+
+def public_length_check(tag):
+    if len(tag) != 16:                        # length is public
+        raise ValueError("bad tag length")
+    return tag
+
+
+def structural_none_check(key):
+    if key is None:                           # 'is' is not ==/!=
+        raise ValueError("missing key")
+    return 0
+
+
+def integer_sentinel(key_id):
+    # comparing a public identifier against an int literal is fine
+    if key_id == 0:
+        return None
+    return key_id
+
+
+def public_table_lookup(sbox, index):
+    return sbox[index & 0xFF]                 # index is not secret-named

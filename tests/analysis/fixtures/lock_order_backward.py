@@ -1,0 +1,23 @@
+"""Seeded LOCK001 — analyzed as pki/ca.py (the 'ca' lock domain).
+
+The CA calling back into the VM while holding its own lock inverts the
+documented VM → CA → cache order.
+"""
+
+
+class CertificateAuthority:
+    def issue_and_notify(self, vm, name):
+        with self._lock:                     # acquires 'ca'
+            cert = self._sign(name)
+            vm.revoke_stale(name)            # LOCK001: ca → vm
+
+    def cached_issue(self, name):
+        with self._lock:                     # acquires 'ca'
+            return self._cache.get(name)     # ok: ca → cache (forward)
+
+    def acquire_style(self, vm, name):
+        self._lock.acquire()                 # acquires 'ca'
+        try:
+            self.vm.host_trusted(name)       # LOCK001: ca → vm
+        finally:
+            self._lock.release()

@@ -1,0 +1,24 @@
+"""Documented lock usage — must produce zero LOCK findings.
+
+Analyzed as core/verification_manager.py: the VM holding its own lock
+while calling the CA and the cache is exactly the documented
+VM → CA → cache order; charging the clock and appending to the audit
+log are chain → leaf edges, which are always legal.
+"""
+
+
+class VerificationManager:
+    def enroll(self, name):
+        with self._lock:                      # acquires 'vm'
+            serial = self._ca.reserve_serial()   # ok: vm → ca
+            verdict = self._cache.get(name)      # ok: vm → cache
+            self.clock.advance(0.002)            # ok: vm → clock (leaf)
+            self.audit.record("enroll")          # ok: vm → audit (leaf)
+            return serial, verdict
+
+    def acquire_style(self, name):
+        self._lock.acquire()                  # acquires 'vm'
+        try:
+            return self._ca.is_issued(name)   # ok: vm → ca
+        finally:
+            self._lock.release()

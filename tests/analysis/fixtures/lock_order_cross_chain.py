@@ -1,0 +1,12 @@
+"""Seeded LOCK003 — analyzed as obs/registry.py (the metrics chain).
+
+A metric child calling back into the core chain nests metrics → core,
+which is the forbidden direction (only core → metrics is documented).
+"""
+
+
+class CounterChild:
+    def inc_and_poke_vm(self, amount):
+        with self._lock:                      # acquires 'child'
+            self._value += amount
+            self.vm.note_metric(amount)       # LOCK003: metrics → core

@@ -1,0 +1,12 @@
+"""Half of a seeded LOCK004 cycle — analyzed as net/clock.py.
+
+Individually legal leaf → leaf edge (clock → audit); combined with
+lock_order_cycle_b.py's audit → clock edge it closes a cycle.
+"""
+
+
+class VirtualClock:
+    def advance_and_audit(self, seconds):
+        with self._lock:                      # acquires 'clock'
+            self._now += seconds
+            self.audit.record("tick")         # edge clock → audit

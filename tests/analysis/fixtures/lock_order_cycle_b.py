@@ -1,0 +1,8 @@
+"""Other half of the seeded LOCK004 cycle — analyzed as core/events.py."""
+
+
+class AuditLog:
+    def record_with_timestamp(self, event):
+        with self._lock:                      # acquires 'audit'
+            self._events.append(event)
+            self.clock.advance(0.001)         # edge audit → clock

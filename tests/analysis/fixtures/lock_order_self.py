@@ -1,0 +1,14 @@
+"""Seeded LOCK005 — analyzed as core/fleet.py (per-host locks).
+
+Nesting two per-host locks is the 'second host's lock' the concurrency
+doc forbids (and, for the same host, a non-reentrant self-deadlock).
+"""
+
+
+class FleetScheduler:
+    def attest_pair(self, host_a, host_b):
+        lock_a = self._host_locks[host_a]
+        lock_b = self._host_locks[host_b]
+        with lock_a:                          # acquires 'host'
+            with lock_b:                      # LOCK005: host while host
+                self._attest(host_a, host_b)

@@ -1,0 +1,62 @@
+"""Seeded SEC violations — analyzed as a non-enclave module."""
+
+import json
+
+
+def leak_by_return(vault):
+    member_secret = vault.load()
+    return member_secret  # SEC001
+
+
+def leak_by_return_tuple(vault):
+    session_key = vault.session()
+    return ("ok", session_key)  # SEC001
+
+
+def leak_by_alias(vault):
+    sealing_key = vault.unseal()
+    copy = sealing_key
+    return copy  # SEC001 (taint through assignment)
+
+
+def leak_by_print(credentials):
+    print("debug key:", credentials.private_key)  # SEC002
+
+
+def leak_by_log(logger, master_secret):
+    logger.debug("tls master %s", master_secret)  # SEC002
+
+
+def leak_by_fstring(credentials):
+    banner = f"key={credentials.private_key_bytes}"  # SEC003
+    return banner
+
+
+def leak_by_percent(master_secret):
+    message = "secret: %s" % master_secret  # SEC003
+    return message
+
+
+def leak_by_exception(signing_key):
+    raise ValueError(f"bad key {signing_key}")  # SEC004
+
+
+def leak_by_exception_arg(member_secret):
+    raise RuntimeError(member_secret)  # SEC004
+
+
+def leak_by_serialize(credential_root):
+    return json.dumps({"root": credential_root})  # SEC005
+
+
+def leak_by_hex(sealing_key):
+    return sealing_key.hex()  # SEC005 (receiver position)
+
+
+def leak_by_transport(channel, private_key):
+    channel.send(private_key)  # SEC006
+
+
+def leak_derived_secret(group, member_id):
+    secret = group.derive_member_secret(member_id)  # taints via source
+    return secret  # SEC001

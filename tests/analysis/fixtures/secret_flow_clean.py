@@ -1,0 +1,32 @@
+"""Secret handling done right — must produce zero SEC findings."""
+
+
+def derive_and_use(vault, message):
+    private_key = vault.load()
+    signature = sign(private_key, message)  # calls sanitize
+    return signature
+
+
+def sign(private_key, message):
+    return ("sig", len(message))
+
+
+def public_metadata(credentials):
+    # Attribute loads of public metadata sanitize the taint.
+    return credentials.private_key.public
+
+
+def log_public_parts(logger, credentials):
+    logger.info("issued serial %s", credentials.serial)
+    print("curve:", credentials.private_key.curve)
+
+
+def structural_checks(member_secret):
+    if member_secret is None:
+        raise ValueError("missing member secret")  # message has no value
+    return len(member_secret)
+
+
+def provision(enclave, vault):
+    sealing_key = vault.unseal()
+    enclave.provision(sealing_key)  # ordinary call, not a transport sink

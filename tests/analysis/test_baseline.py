@@ -1,0 +1,98 @@
+"""Baseline parsing, matching, staleness, and fingerprint stability."""
+
+import pytest
+
+from repro.analysis import (
+    BaselineError,
+    Finding,
+    apply_baseline,
+    assign_ordinals,
+    parse_baseline,
+)
+from repro.analysis.baseline import format_entry
+
+
+def _finding(rule="SEC001", relpath="core/x.py", line=10, symbol="f",
+             message="leak", ordinal=0):
+    return Finding(rule_id=rule, severity="error", relpath=relpath,
+                   line=line, col=0, symbol=symbol, message=message,
+                   ordinal=ordinal)
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        finding = _finding()
+        line = format_entry(finding, "reviewed: primitive contract")
+        entries = parse_baseline(line)
+        assert len(entries) == 1
+        assert entries[0].fingerprint == finding.fingerprint
+        assert entries[0].rule_id == "SEC001"
+        assert entries[0].justification == "reviewed: primitive contract"
+
+    def test_comments_and_blanks_ignored(self):
+        entries = parse_baseline("# header\n\n  \n")
+        assert entries == []
+
+    def test_missing_justification_rejected(self):
+        with pytest.raises(BaselineError):
+            parse_baseline("abc123 SEC001 src/x.py:1")
+        with pytest.raises(BaselineError):
+            parse_baseline("abc123 SEC001 src/x.py:1 -- ")
+
+    def test_malformed_head_rejected(self):
+        with pytest.raises(BaselineError):
+            parse_baseline("abc123 -- why")
+
+    def test_duplicate_fingerprints_rejected(self):
+        finding = _finding()
+        line = format_entry(finding, "why")
+        with pytest.raises(BaselineError):
+            apply_baseline([finding], parse_baseline(line + "\n" + line))
+
+
+class TestMatching:
+    def test_suppression_and_staleness(self):
+        kept = _finding(message="real leak")
+        fixed = _finding(message="already fixed", line=99)
+        entries = parse_baseline(
+            format_entry(kept, "accepted") + "\n"
+            + format_entry(fixed, "accepted")
+        )
+        fresh, suppressed, stale = apply_baseline([kept], entries)
+        assert fresh == []
+        assert suppressed == [kept]
+        assert [e.fingerprint for e in stale] == [fixed.fingerprint]
+
+    def test_rule_id_mismatch_does_not_suppress(self):
+        finding = _finding()
+        entry_line = format_entry(finding, "why").replace(
+            " SEC001 ", " HYG001 ")
+        fresh, suppressed, _ = apply_baseline(
+            [finding], parse_baseline(entry_line))
+        assert fresh == [finding]
+        assert suppressed == []
+
+
+class TestFingerprints:
+    def test_line_number_changes_keep_fingerprint(self):
+        a = _finding(line=10)
+        b = _finding(line=200)
+        assert a.fingerprint == b.fingerprint
+
+    def test_rule_module_symbol_message_all_matter(self):
+        base = _finding()
+        assert base.fingerprint != _finding(rule="SEC002").fingerprint
+        assert base.fingerprint != _finding(relpath="core/y.py").fingerprint
+        assert base.fingerprint != _finding(symbol="g").fingerprint
+        assert base.fingerprint != _finding(message="other").fingerprint
+
+    def test_ordinals_disambiguate_duplicates(self):
+        twins = [_finding(line=10), _finding(line=20)]
+        assigned = assign_ordinals(twins)
+        assert [f.ordinal for f in assigned] == [0, 1]
+        assert len({f.fingerprint for f in assigned}) == 2
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Finding(rule_id="X", severity="fatal", relpath="a.py",
+                    line=1, col=0, symbol="f", message="m")

@@ -1,0 +1,51 @@
+"""CT rules: seeded variable-time patterns fire; sanctioned patterns and
+out-of-scope modules stay silent."""
+
+from repro.analysis import ConstantTimeChecker
+
+from tests.analysis.conftest import analyze_fixture
+
+
+def _run(name, virtual_path):
+    return analyze_fixture(name, virtual_path,
+                           checkers=[ConstantTimeChecker()])
+
+
+class TestSeededViolations:
+    def test_every_ct_rule_fires(self):
+        fired = {f.rule_id for f in _run("ct_bad.py", "crypto/fixture.py")}
+        assert fired == {"CT001", "CT002", "CT003"}
+
+    def test_ct001_sites(self):
+        findings = _run("ct_bad.py", "crypto/fixture.py")
+        by_symbol = {f.symbol for f in findings if f.rule_id == "CT001"}
+        assert by_symbol == {"variable_time_tag_check",
+                             "variable_time_mac_eq", "digest_compare"}
+        for f in findings:
+            if f.rule_id == "CT001":
+                assert "ct_bytes_eq" in f.message
+
+    def test_ct002_sites(self):
+        findings = _run("ct_bad.py", "crypto/fixture.py")
+        by_symbol = {f.symbol for f in findings if f.rule_id == "CT002"}
+        assert by_symbol == {"secret_dependent_branch",
+                             "secret_early_return"}
+
+    def test_ct003_site_and_severity(self):
+        findings = _run("ct_bad.py", "crypto/fixture.py")
+        ct003 = [f for f in findings if f.rule_id == "CT003"]
+        assert [f.symbol for f in ct003] == ["secret_table_lookup"]
+        assert ct003[0].severity == "warning"
+
+
+class TestScope:
+    def test_clean_fixture_is_silent(self):
+        assert _run("ct_clean.py", "crypto/fixture.py") == []
+
+    def test_outside_crypto_is_out_of_scope(self):
+        assert _run("ct_bad.py", "core/fixture.py") == []
+        assert _run("ct_bad.py", "tls/fixture.py") == []
+
+    def test_sanitizer_module_and_reference_ladder_are_exempt(self):
+        assert _run("ct_bad.py", "crypto/constant_time.py") == []
+        assert _run("ct_bad.py", "crypto/ec.py") == []

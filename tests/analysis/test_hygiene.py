@@ -1,0 +1,46 @@
+"""HYG rules: bare excepts, mutable defaults, determinism bypasses."""
+
+from repro.analysis import HygieneChecker
+
+from tests.analysis.conftest import analyze_fixture
+
+
+def _bad(virtual_path="core/fixture.py"):
+    return analyze_fixture("hygiene_bad.py", virtual_path,
+                           checkers=[HygieneChecker()])
+
+
+class TestSeededViolations:
+    def test_every_hyg_rule_fires(self):
+        assert {f.rule_id for f in _bad()} == {"HYG001", "HYG002", "HYG003"}
+
+    def test_bare_except(self):
+        hyg001 = [f for f in _bad() if f.rule_id == "HYG001"]
+        assert [f.symbol for f in hyg001] == ["swallow_everything"]
+
+    def test_mutable_defaults(self):
+        hyg002 = [f for f in _bad() if f.rule_id == "HYG002"]
+        assert {f.symbol for f in hyg002} == {"shared_accumulator",
+                                              "shared_index",
+                                              "factory_default"}
+
+    def test_determinism_bypasses(self):
+        messages = [f.message for f in _bad() if f.rule_id == "HYG003"]
+        joined = "\n".join(messages)
+        for source in ("time.time", "time.sleep", "random.random",
+                       "os.urandom", "datetime.now"):
+            assert source in joined, source
+
+    def test_rng_module_may_seed_from_os(self):
+        findings = analyze_fixture("hygiene_bad.py", "crypto/rng.py",
+                                   checkers=[HygieneChecker()])
+        assert not [f for f in findings if "os.urandom" in f.message]
+        # the other bypasses still fire there
+        assert [f for f in findings if "time.time" in f.message]
+
+
+class TestCleanFixture:
+    def test_clean_fixture_is_silent(self):
+        findings = analyze_fixture("hygiene_clean.py", "core/fixture.py",
+                                   checkers=[HygieneChecker()])
+        assert findings == []

@@ -1,0 +1,125 @@
+"""LOCK rules: the checker provably encodes docs/CONCURRENCY.md's
+VM → CA → cache (and registry → family → child) order, catches every
+seeded inversion, and stays silent on documented usage."""
+
+from pathlib import Path
+
+from repro.analysis import LockOrderChecker, run_checkers
+from repro.analysis.lock_order import (
+    ATTR_HINTS,
+    LEAF_DOMAINS,
+    LOCK_SITES,
+    ORDER_CHAINS,
+    OUTER_DOMAINS,
+)
+
+from tests.analysis.conftest import analyze_fixture, fixture_context
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestEncodedOrder:
+    """The acceptance criterion: the checker's order IS the documented
+    order, not a lookalike."""
+
+    def test_core_chain_is_vm_ca_cache(self):
+        assert ORDER_CHAINS["core"] == ("vm", "ca", "cache")
+
+    def test_metrics_chain_is_registry_family_child(self):
+        assert ORDER_CHAINS["metrics"] == ("registry", "family", "child")
+
+    def test_chains_match_concurrency_doc(self):
+        doc = (REPO_ROOT / "docs" / "CONCURRENCY.md").read_text()
+        assert "VM lock → CA lock → cache locks" in doc
+        assert "registry lock → family lock → child lock" in doc
+
+    def test_every_documented_lock_has_a_site_mapping(self):
+        domains = set(LOCK_SITES.values())
+        for chain in ORDER_CHAINS.values():
+            for domain in chain:
+                assert domain in domains, domain
+        assert LEAF_DOMAINS <= domains | {"host"}
+        assert OUTER_DOMAINS <= domains
+
+    def test_vm_ca_cache_sites_point_at_the_real_modules(self):
+        assert LOCK_SITES[("core/verification_manager.py", None, "_lock")] == "vm"
+        assert LOCK_SITES[("pki/ca.py", None, "_lock")] == "ca"
+        assert LOCK_SITES[("core/verification_cache.py", None, "_lock")] == "cache"
+
+
+class TestSeededViolations:
+    def test_backward_edge_fires_lock001(self):
+        findings = analyze_fixture("lock_order_backward.py", "pki/ca.py",
+                                   checkers=[LockOrderChecker()])
+        lock001 = [f for f in findings if f.rule_id == "LOCK001"]
+        assert {f.symbol for f in lock001} == {
+            "CertificateAuthority.issue_and_notify",
+            "CertificateAuthority.acquire_style",
+        }
+        assert all("vm" in f.message and "ca" in f.message.lower()
+                   for f in lock001)
+        # the forward ca → cache edge in the same fixture is legal
+        assert not [f for f in findings
+                    if f.symbol == "CertificateAuthority.cached_issue"]
+
+    def test_leaf_holding_chain_fires_lock002(self):
+        findings = analyze_fixture("lock_order_leaf.py", "core/events.py",
+                                   checkers=[LockOrderChecker()])
+        assert [f.rule_id for f in findings] == ["LOCK002"]
+        assert findings[0].symbol == "AuditLog.record_and_notify"
+
+    def test_cross_chain_fires_lock003(self):
+        findings = analyze_fixture("lock_order_cross_chain.py",
+                                   "obs/registry.py",
+                                   checkers=[LockOrderChecker()])
+        assert [f.rule_id for f in findings] == ["LOCK003"]
+
+    def test_cycle_fires_lock004(self):
+        ctxs = [
+            fixture_context("lock_order_cycle_a.py", "net/clock.py"),
+            fixture_context("lock_order_cycle_b.py", "core/events.py"),
+        ]
+        findings = run_checkers(ctxs, checkers=[LockOrderChecker()])
+        lock004 = [f for f in findings if f.rule_id == "LOCK004"]
+        assert len(lock004) == 1
+        assert "clock" in lock004[0].message
+        assert "audit" in lock004[0].message
+        # each half alone is legal: no cycle, no findings
+        for ctx in ctxs:
+            assert run_checkers([ctx], checkers=[LockOrderChecker()]) == []
+
+    def test_double_host_lock_fires_lock005(self):
+        findings = analyze_fixture("lock_order_self.py", "core/fleet.py",
+                                   checkers=[LockOrderChecker()])
+        assert [f.rule_id for f in findings] == ["LOCK005"]
+        assert findings[0].symbol == "FleetScheduler.attest_pair"
+
+
+class TestDocumentedUsageIsClean:
+    def test_clean_fixture_is_silent(self):
+        findings = analyze_fixture("lock_order_clean.py",
+                                   "core/verification_manager.py",
+                                   checkers=[LockOrderChecker()])
+        assert findings == []
+
+    def test_single_flight_host_lock_is_legal(self):
+        # The real fleet scheduler holds a per-host lock across the whole
+        # attestation (VM lock included) — the documented single-flight
+        # mechanism must not be flagged.
+        source = (
+            "class FleetScheduler:\n"
+            "    def attest(self, host):\n"
+            "        lock = self._host_locks[host]\n"
+            "        with lock:\n"
+            "            return self.vm.attest_host(host)\n"
+        )
+        from repro.analysis import ModuleContext
+        ctx = ModuleContext(relpath="core/fleet.py", source=source)
+        assert run_checkers([ctx], checkers=[LockOrderChecker()]) == []
+
+
+class TestHintCoverage:
+    def test_hints_resolve_the_chain_domains(self):
+        hinted = set(ATTR_HINTS.values())
+        for domain in ("vm", "ca", "cache"):
+            assert domain in hinted

@@ -11,9 +11,13 @@ by experiment + row ``name``, and compares every ``*_seconds`` metric.
 A metric that grew by more than ``--threshold`` (default 25%) is printed
 as a ``SLOWDOWN`` warning.
 
-The exit code is always 0 when the inputs parse: benchmark timings on
-shared CI runners are too noisy to gate a merge on, so this is a
+By default the exit code is 0 when the inputs parse: benchmark timings
+on shared CI runners are too noisy to gate a merge on, so this is a
 *warn-only* tripwire — the signal is the log line, not a red build.
+``--strict`` flips that: any slowdown beyond the threshold exits 1, for
+pipelines (nightly runs, dedicated runners) where the timings are
+trustworthy.  This mirrors the ``repro lint [--strict]`` convention —
+default runs warn, strict runs gate (see docs/ANALYSIS.md).
 Malformed inputs (unreadable JSON, missing directories) exit 2 so a
 broken pipeline doesn't silently pass.
 """
@@ -38,7 +42,7 @@ def load_reports(directory: Path) -> dict:
         try:
             data = json.loads(path.read_text())
         except (OSError, ValueError) as exc:
-            raise SystemExit(f"error: cannot read {path}: {exc}")
+            raise SystemExit(f"error: cannot read {path}: {exc}") from exc
         rows = {row.get("name", str(i)): row
                 for i, row in enumerate(data.get("rows", []))}
         reports[data.get("experiment", path.stem)] = rows
@@ -83,6 +87,10 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="fractional slowdown that triggers a warning "
                              "(default: 0.25 = +25%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any slowdown beyond the threshold "
+                             "instead of warn-only (same strict/warn "
+                             "convention as 'repro lint')")
     args = parser.parse_args(argv)
 
     if not args.baseline.is_dir():
@@ -105,6 +113,10 @@ def main(argv=None) -> int:
         print(f"::warning::{line}")
     if not warnings:
         print("no slowdowns beyond threshold")
+    if args.strict and warnings:
+        print(f"strict mode: {len(warnings)} regression(s) beyond "
+              f"+{args.threshold:.0%} — failing")
+        return 1
     return 0
 
 
