@@ -50,6 +50,7 @@ ORDER_CHAINS: Dict[str, Tuple[str, ...]] = {
 LEAF_DOMAINS: Set[str] = {
     "clock", "audit", "tracer", "simnet", "agent",
     "ias_pool", "ec_stats",
+    "kms_shard", "kms_ns", "keystore_entries",
 }
 
 #: Fleet-outer locks wrap whole operations *before* the core machinery
@@ -66,6 +67,7 @@ OUTER_DOMAINS: Set[str] = {"host", "keystore"}
 #: or a forbidden two-instance hold.
 NON_REENTRANT_DOMAINS: Set[str] = {
     "clock", "audit", "ec_stats", "host", "keystore", "cache",
+    "kms_shard", "kms_ns", "keystore_entries",
 }
 
 #: Cross-chain nesting: holding a ``core`` lock while updating a metric
@@ -99,6 +101,10 @@ LOCK_SITES: Dict[Tuple[str, Optional[str], str], str] = {
     ("obs/registry.py", "CounterChild", "_lock"): "child",
     ("obs/registry.py", "GaugeChild", "_lock"): "child",
     ("obs/registry.py", "HistogramChild", "_lock"): "child",
+    ("kms/shard.py", None, "_lock"): "kms_shard",
+    ("kms/tenancy.py", None, "_lock"): "kms_ns",
+    ("kms/service.py", None, "_trails_lock"): "kms_ns",
+    ("pki/keystore.py", None, "_lock"): "keystore_entries",
 }
 
 #: Attribute-name hints used to resolve *calls made while holding a lock*
@@ -116,6 +122,8 @@ ATTR_HINTS: Dict[str, str] = {
     "_audit": "audit", "audit": "audit",
     "_tracer": "tracer", "tracer": "tracer",
     "stats": "ec_stats",
+    "_shards": "kms_shard",
+    "_namespaces": "kms_ns",
 }
 
 _RANK: Dict[str, Tuple[str, int]] = {

@@ -51,6 +51,8 @@ SECRET_NAMES: Set[str] = {
     "credential_root", "_credential_root",
     "group_secret", "_group_secret",
     "mac_key", "_mac_key",
+    "tenant_secret", "_tenant_secret",
+    "token_key", "_token_key",
 }
 
 #: Calls whose *result* is a secret even though calls normally sanitize.

@@ -6,6 +6,7 @@ Examples::
     python -m repro attest --tamper /usr/bin/dockerd
     python -m repro enroll --vnfs 3 --csr
     python -m repro fleet --vnfs 16 --workers 8
+    python -m repro kms --tenants 4 --shards 4
     python -m repro metrics --vnfs 2
     python -m repro lint --strict
     python -m repro experiments
@@ -37,6 +38,8 @@ EXPERIMENTS = [
      "benchmarks/test_e11_crypto_hotpath.py"),
     ("E12", "fleet enrolment: serial loop vs. worker-pool scheduler",
      "benchmarks/test_e12_fleet.py"),
+    ("E13", "key manager: throughput vs. tenants and shard count",
+     "benchmarks/test_e13_kms.py"),
 ]
 
 
@@ -88,6 +91,18 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--traces", action="store_true",
                          help="print the trace JSON instead of the "
                               "Prometheus scrape text")
+
+    kms = sub.add_parser(
+        "kms",
+        help="attach the multi-tenant key manager, enrol a credential per "
+             "tenant, and exercise the sharded secret store")
+    _common_flags(kms)
+    kms.add_argument("--tenants", type=int, default=2,
+                     help="tenant namespaces to create (default 2)")
+    kms.add_argument("--shards", type=int, default=4,
+                     help="enclave-sealed shards (default 4)")
+    kms.add_argument("--secrets", type=int, default=8,
+                     help="secrets stored per tenant (default 8)")
 
     lint = sub.add_parser(
         "lint",
@@ -214,6 +229,49 @@ def _cmd_fleet(args, out) -> int:
     return 0 if report.fully_succeeded else 1
 
 
+def _cmd_kms(args, out) -> int:
+    deployment = _build_deployment(args)
+    deployment.run_workflow()  # enrol VNFs: tenant tokens need credentials
+    service = deployment.build_kms(shard_count=args.shards)
+
+    vnf_names = deployment.vnf_names
+    clients = {}
+    for index in range(args.tenants):
+        tenant = f"tenant-{index}"
+        service.create_tenant(tenant)
+        # Each tenant authorizes with an enrolled VNF's credential
+        # (round-robin when tenants outnumber VNFs).
+        vnf_name = vnf_names[index % len(vnf_names)]
+        certificate = deployment.vm.issued_certificate(vnf_name)
+        token = service.authorize(tenant, certificate)
+        clients[tenant] = deployment.kms_client(tenant, token)
+        out.write(f"{tenant}: authorized via {vnf_name} "
+                  f"(serial {certificate.serial})\n")
+
+    for tenant, client in clients.items():
+        for index in range(args.secrets):
+            client.store(f"secret-{index}", f"{tenant}:{index}".encode())
+    service.quiesce()
+
+    for tenant, client in clients.items():
+        names = client.names()
+        trail = service.audit_trail(tenant)
+        out.write(f"{tenant}: {len(names)} secret(s), "
+                  f"{len(trail)} audit event(s)\n")
+        client.close()
+    placement = " ".join(
+        f"{label}={count}"
+        for label, count in service.store_backend.secret_counts().items()
+    )
+    out.write(f"shard placement: {placement}\n")
+    out.write(
+        f"{args.tenants} tenant(s) x {args.secrets} secret(s) over "
+        f"{service.shard_count()} shard(s), "
+        f"sim={deployment.clock.now() * 1000:.3f} ms\n"
+    )
+    return 0
+
+
 def _cmd_metrics(args, out) -> int:
     deployment = _build_deployment(args)
     deployment.enable_telemetry()
@@ -248,6 +306,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "attest": _cmd_attest,
         "enroll": _cmd_enroll,
         "fleet": _cmd_fleet,
+        "kms": _cmd_kms,
         "metrics": _cmd_metrics,
         "lint": _cmd_lint,
         "experiments": _cmd_experiments,

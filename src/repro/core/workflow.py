@@ -61,6 +61,10 @@ MODE_PORTS = {MODE_HTTP: 8080, MODE_HTTPS: 8443, MODE_TRUSTED: 9443}
 #: once telemetry is enabled.
 TELEMETRY_ADDRESS = Address("verification-manager", 9100)
 
+#: Where the key-manager REST API listens once :meth:`Deployment.build_kms`
+#: is called with ``serve=True``.
+KMS_ADDRESS = Address("verification-manager", 7100)
+
 VALIDATION_CA = "ca"
 VALIDATION_KEYSTORE = "keystore"
 
@@ -228,6 +232,10 @@ class Deployment:
         self.telemetry = None
         self.telemetry_endpoint = None
 
+        # The key manager is opt-in; see build_kms().
+        self.kms = None
+        self.kms_endpoint = None
+
         # Single-host compatibility aliases (the common configuration).
         self.host = self.hosts[0]
         self.attestation_enclave = self.attestation_enclaves[self.host.name]
@@ -328,6 +336,10 @@ class Deployment:
             host.platform.accountant.instrument(telemetry,
                                                 platform=host.name)
         tls_client.instrument(telemetry)
+        if self.kms_endpoint is not None:
+            self.kms_endpoint.instrument(telemetry)
+        elif self.kms is not None:
+            self.kms.instrument(telemetry)
         if serve:
             self.telemetry_endpoint = TelemetryEndpoint(
                 telemetry, self.network, address
@@ -351,6 +363,10 @@ class Deployment:
         for host in self.hosts:
             host.platform.accountant.instrument(None)
         tls_client.instrument(None)
+        if self.kms_endpoint is not None:
+            self.kms_endpoint.instrument(None)
+        elif self.kms is not None:
+            self.kms.instrument(None)
         if self.telemetry_endpoint is not None:
             self.telemetry_endpoint.close()
             self.telemetry_endpoint = None
@@ -372,6 +388,43 @@ class Deployment:
         if self.telemetry_endpoint is None:
             raise VnfSgxError("telemetry endpoint is not serving")
         return scrape_traces(self.network, self.telemetry_endpoint.address)
+
+    # ---------------------------------------------------------- key manager
+
+    def build_kms(self, shard_count: int = 4, seed: bytes = b"kms-service",
+                  serve: bool = True, address: Address = KMS_ADDRESS):
+        """Attach a :class:`repro.kms.KeyManagerService` to this deployment.
+
+        The service hangs off the Verification Manager's CA (tenant
+        tokens are derived from enrolled credentials) and parks its shard
+        identities in the deployment keystore, but draws all randomness
+        from its *own* DRBG stream — attaching a KMS does not perturb the
+        deployment's enrollment transcripts.  With ``serve=True`` the
+        REST endpoint listens at ``address`` on the simulated network.
+        """
+        from repro.kms import KeyManagerService, KmsEndpoint
+
+        self.kms = KeyManagerService(
+            self.vm.ca, self.clock, seed=seed, shard_count=shard_count,
+            keystore=self.keystore,
+        )
+        if serve:
+            self.kms_endpoint = KmsEndpoint(self.kms, self.network, address)
+            if self.telemetry is not None:
+                self.kms_endpoint.instrument(self.telemetry)
+        elif self.telemetry is not None:
+            self.kms.instrument(self.telemetry)
+        return self.kms
+
+    def kms_client(self, tenant: str, token: str, source_host: str = ""):
+        """A :class:`repro.kms.KmsClient` for one tenant (defaults to
+        originating from the first container host)."""
+        from repro.kms import KmsClient
+
+        if self.kms_endpoint is None:
+            raise VnfSgxError("KMS endpoint is not serving; call build_kms()")
+        return KmsClient(self.network, self.kms_endpoint.address, tenant,
+                         token, source_host or self.host.name)
 
     # ------------------------------------------------------------ accessors
 

@@ -69,6 +69,11 @@ class KeystoreError(PkiError):
     """A keystore/truststore operation failed."""
 
 
+#: Java-keystore-style spelling, kept as an alias so callers can catch the
+#: name the KMS docs use without a second class in the hierarchy.
+KeyStoreError = KeystoreError
+
+
 # ---------------------------------------------------------------- network
 
 class NetError(ReproError):
@@ -243,6 +248,32 @@ class ProvisioningError(VnfSgxError):
 
 class RevocationError(VnfSgxError):
     """Credential or platform revocation failed."""
+
+
+# ---------------------------------------------------------------- key manager
+
+class KmsError(ReproError):
+    """Root for key-manager-service failures."""
+
+
+class NamespaceError(KmsError):
+    """A tenant namespace is missing, malformed, or already exists."""
+
+
+class TenantAuthError(KmsError):
+    """A request carried no valid authorization for the target namespace."""
+
+
+class TenantQuotaExceeded(KmsError):
+    """A tenant exceeded its secret-count or request-rate quota."""
+
+
+class SecretNotFound(KmsError):
+    """The named secret does not exist in the tenant's namespace."""
+
+
+class KmsUnavailable(KmsError):
+    """The KMS endpoint answered with a transient 5xx — retryable."""
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,31 @@
+"""``repro.kms`` — a multi-tenant, sharded key-manager service.
+
+The paper's Verification Manager provisions credentials to two VNFs; an
+operator's fleet needs a *key-management service*: per-tenant namespaces
+with quotas, secrets at rest inside enclave-sealed storage, and an
+audited REST front door.  This package layers exactly that on the
+existing pieces — the :class:`~repro.pki.ca.CertificateAuthority` issues
+shard identities and anchors tenant authorization, secrets are sealed
+with :mod:`repro.sgx.sealing`, the API is served on the simulated
+network through :mod:`repro.net.rest`, and every request is metered by
+:mod:`repro.obs`.  See ``docs/KMS.md`` for the design.
+"""
+
+from repro.kms.api import KmsClient, KmsEndpoint
+from repro.kms.hashring import HashRing
+from repro.kms.service import KeyManagerService
+from repro.kms.shard import SecretShard
+from repro.kms.store import KmsCostModel, ShardedSecretStore
+from repro.kms.tenancy import TenantQuota, TenantRegistry
+
+__all__ = [
+    "HashRing",
+    "KeyManagerService",
+    "KmsClient",
+    "KmsCostModel",
+    "KmsEndpoint",
+    "SecretShard",
+    "ShardedSecretStore",
+    "TenantQuota",
+    "TenantRegistry",
+]

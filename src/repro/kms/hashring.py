@@ -1,0 +1,94 @@
+"""Consistent hashing: stable secret placement over a changing shard set.
+
+Each shard contributes ``vnodes`` points to a hash ring (SHA-256 over
+``"<shard>#<vnode>"``); a key is placed on the shard owning the first
+point at or after the key's own hash, wrapping at the top.  Placement is
+a pure function of the shard identifiers and the key, so equal
+deployments place equally (the determinism the KMS tests gate on), and
+adding or removing one shard moves only the keys whose successor point
+changed — about ``1/N`` of the keyspace instead of nearly all of it,
+which is what makes shard rebalancing affordable at fleet scale.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.crypto.sha256 import sha256
+from repro.errors import KmsError
+
+#: Virtual nodes per shard.  More points smooth the per-shard load (the
+#: E13 scaling gate needs the maximum shard fraction close to 1/N).
+DEFAULT_VNODES = 128
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(sha256(data.encode("utf-8"))[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named shards.
+
+    Args:
+        shard_ids: initial shard identifiers (order-insensitive).
+        vnodes: virtual nodes per shard.
+    """
+
+    def __init__(self, shard_ids: Sequence[str],
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes <= 0:
+            raise KmsError("vnodes must be positive")
+        self._vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []
+        self._shards: List[str] = []
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+        if not self._shards:
+            raise KmsError("a hash ring needs at least one shard")
+
+    # ------------------------------------------------------------ topology
+
+    def add_shard(self, shard_id: str) -> None:
+        """Add ``shard_id``'s points to the ring."""
+        if shard_id in self._shards:
+            raise KmsError(f"shard {shard_id!r} is already on the ring")
+        self._shards.append(shard_id)
+        for vnode in range(self._vnodes):
+            entry = (_point(f"{shard_id}#{vnode}"), shard_id)
+            bisect.insort(self._points, entry)
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Remove ``shard_id``'s points from the ring."""
+        if shard_id not in self._shards:
+            raise KmsError(f"shard {shard_id!r} is not on the ring")
+        if len(self._shards) == 1:
+            raise KmsError("cannot remove the last shard")
+        self._shards.remove(shard_id)
+        self._points = [p for p in self._points if p[1] != shard_id]
+
+    def shard_ids(self) -> List[str]:
+        """Shards currently on the ring, in insertion order."""
+        return list(self._shards)
+
+    # ----------------------------------------------------------- placement
+
+    def shard_for(self, key: str) -> str:
+        """The shard owning ``key`` (first ring point clockwise of it)."""
+        index = bisect.bisect_right(self._points, (_point(key), "￿"))
+        if index == len(self._points):
+            index = 0  # wrap past the top of the ring
+        return self._points[index][1]
+
+    def placement(self, keys: Iterable[str]) -> Dict[str, str]:
+        """``{key: shard}`` for a batch of keys."""
+        return {key: self.shard_for(key) for key in keys}
+
+    def moved_keys(self, keys: Iterable[str],
+                   other: "HashRing") -> List[str]:
+        """Keys whose owner differs between this ring and ``other``."""
+        return [key for key in keys
+                if self.shard_for(key) != other.shard_for(key)]
+
+    def __len__(self) -> int:
+        return len(self._shards)

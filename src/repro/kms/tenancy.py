@@ -1,0 +1,290 @@
+"""Tenancy: namespaces, quotas, and credential-derived authorization.
+
+A *namespace* is one tenant's slice of the KMS.  Authorization is rooted
+in the paper's credential machinery rather than passwords: a tenant
+registers the certificate its enrolled VNF received from the
+Verification Manager's CA, and the registry mints a bearer token bound
+to that certificate — ``HMAC(token_key, tenant || fingerprint)``.  The
+CA stays the single source of trust: a certificate that the CA never
+issued, or has since revoked, authorizes nothing.
+
+Quotas are enforced here too:
+
+* **count** — ``max_secrets`` live secrets per namespace, accounted with
+  reserve/release so concurrent stores cannot overshoot;
+* **rate** — a token bucket refilled on *simulated* time
+  (:class:`~repro.net.clock.VirtualClock`), so a burst above
+  ``ops_per_second`` is rejected deterministically, independent of wall
+  clock or host speed.
+
+The registry lock is a non-reentrant leaf in the documented order
+(``docs/CONCURRENCY.md``): time is read *before* taking it, and nothing
+locked is called while holding it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.crypto.constant_time import ct_bytes_eq
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.rng import HmacDrbg
+from repro.errors import NamespaceError, TenantAuthError, TenantQuotaExceeded
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import Certificate
+
+#: Characters allowed in tenant and secret names (no ``/``: the sharded
+#: store namespaces its keys as ``tenant/name``).
+_NAME_ALPHABET = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def valid_name(name: str) -> bool:
+    """True for a usable tenant or secret name."""
+    return bool(name) and len(name) <= 128 and set(name) <= _NAME_ALPHABET
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-namespace limits.
+
+    Attributes:
+        max_secrets: live secrets the namespace may hold.
+        ops_per_second: sustained request rate (``None`` = unlimited).
+        burst: token-bucket depth — requests admitted above the
+            sustained rate before throttling starts.
+    """
+
+    max_secrets: int = 128
+    ops_per_second: Optional[float] = None
+    burst: int = 8
+
+
+class _Namespace:
+    """Mutable per-tenant state (guarded by the registry lock)."""
+
+    __slots__ = ("name", "quota", "tokens", "secret_count",
+                 "bucket_level", "bucket_refilled_at", "generator")
+
+    def __init__(self, name: str, quota: TenantQuota,
+                 generator: HmacDrbg) -> None:
+        self.name = name
+        self.quota = quota
+        self.tokens: List[bytes] = []
+        self.secret_count = 0
+        self.bucket_level = float(quota.burst)
+        self.bucket_refilled_at = 0.0
+        self.generator = generator
+
+
+class TenantRegistry:
+    """Namespace catalogue + quota accounting + token authorization.
+
+    Args:
+        ca: the authority whose certificates anchor tenant authorization.
+        now: simulated-time source (``clock.now``).
+        rng: seed source for the token key and per-tenant generators.
+    """
+
+    def __init__(self, ca: CertificateAuthority,
+                 now: Callable[[], float], rng: HmacDrbg) -> None:
+        self._ca = ca
+        self._now = now
+        self._token_key = rng.random_bytes(32)
+        self._generator_root = rng.random_bytes(32)
+        self._namespaces: Dict[str, _Namespace] = {}
+        self._lock = threading.Lock()
+
+    # ---------------------------------------------------------- namespaces
+
+    def create_namespace(self, tenant: str,
+                         quota: Optional[TenantQuota] = None) -> None:
+        """Create the namespace for ``tenant``.
+
+        Raises:
+            NamespaceError: invalid name or namespace collision.
+        """
+        if not valid_name(tenant):
+            raise NamespaceError(f"invalid tenant name {tenant!r}")
+        quota = quota or TenantQuota()
+        # Deterministic per-tenant generator: keyed by name, not by
+        # creation order, so equal seeds generate equal secrets.
+        generator = HmacDrbg(self._generator_root,
+                             personalization=b"kms-generate:" + tenant.encode())
+        namespace = _Namespace(tenant, quota, generator)
+        now = self._now()
+        namespace.bucket_refilled_at = now
+        with self._lock:
+            if tenant in self._namespaces:
+                raise NamespaceError(f"namespace {tenant!r} already exists")
+            self._namespaces[tenant] = namespace
+
+    def tenants(self) -> List[str]:
+        """All namespace names."""
+        with self._lock:
+            return list(self._namespaces.keys())
+
+    def quota(self, tenant: str) -> TenantQuota:
+        """The quota configured for ``tenant``."""
+        return self._namespace(tenant).quota
+
+    def _namespace(self, tenant: str) -> _Namespace:
+        with self._lock:
+            namespace = self._namespaces.get(tenant)
+        if namespace is None:
+            raise NamespaceError(f"unknown namespace {tenant!r}")
+        return namespace
+
+    # ------------------------------------------------------- authorization
+
+    def _derive_token(self, tenant: str, certificate: Certificate) -> bytes:
+        return hmac_sha256(
+            self._token_key,
+            b"kms-token|" + tenant.encode() + b"|" + certificate.fingerprint(),
+        )
+
+    def authorize(self, tenant: str, certificate: Certificate) -> str:
+        """Mint a bearer token for ``tenant`` from an enrolled credential.
+
+        The certificate must have been issued by the registry's CA and
+        must not be revoked; the token is bound to the certificate's
+        fingerprint and stays valid until the namespace drops it.
+
+        Returns:
+            The token, hex-encoded for the ``authorization`` header.
+
+        Raises:
+            NamespaceError: unknown namespace.
+            TenantAuthError: the certificate does not authorize anything.
+        """
+        namespace = self._namespace(tenant)
+        if not self._ca.is_issued(certificate.serial):
+            raise TenantAuthError(
+                f"certificate serial {certificate.serial} was not issued "
+                "by the KMS authority"
+            )
+        issued = self._ca.issued_certificate(certificate.serial)
+        if issued.fingerprint() != certificate.fingerprint():
+            raise TenantAuthError(
+                f"certificate serial {certificate.serial} does not match "
+                "the issued certificate"
+            )
+        crl = self._ca.current_crl(int(self._now()))
+        if crl.is_revoked(certificate.serial):
+            raise TenantAuthError(
+                f"certificate serial {certificate.serial} is revoked"
+            )
+        token = self._derive_token(tenant, certificate)
+        with self._lock:
+            if token not in namespace.tokens:
+                namespace.tokens.append(token)
+        return token.hex()
+
+    def authenticate(self, tenant: str, token_hex: Optional[str]) -> None:
+        """Check a presented token against ``tenant``'s namespace.
+
+        Raises:
+            NamespaceError: unknown namespace.
+            TenantAuthError: missing or unrecognized token — including a
+                token minted for a *different* namespace, which is how
+                cross-tenant access is always denied.
+        """
+        namespace = self._namespace(tenant)
+        if not token_hex:
+            raise TenantAuthError("missing authorization token")
+        try:
+            presented = bytes.fromhex(token_hex)
+        except ValueError as exc:
+            raise TenantAuthError("malformed authorization token") from exc
+        with self._lock:
+            expected = list(namespace.tokens)
+        if not any(ct_bytes_eq(presented, token) for token in expected):
+            raise TenantAuthError(
+                f"token does not authorize namespace {tenant!r}"
+            )
+
+    # -------------------------------------------------------------- quotas
+
+    def check_rate(self, tenant: str) -> None:
+        """Admit one request under the namespace's rate quota.
+
+        Raises:
+            TenantQuotaExceeded: the token bucket is empty.
+        """
+        namespace = self._namespace(tenant)
+        rate = namespace.quota.ops_per_second
+        if rate is None:
+            return
+        now = self._now()
+        with self._lock:
+            elapsed = now - namespace.bucket_refilled_at
+            if elapsed > 0:
+                namespace.bucket_level = min(
+                    float(namespace.quota.burst),
+                    namespace.bucket_level + elapsed * rate,
+                )
+                namespace.bucket_refilled_at = now
+            if namespace.bucket_level < 1.0:
+                raise TenantQuotaExceeded(
+                    f"namespace {tenant!r} exceeded {rate}/s "
+                    f"(burst {namespace.quota.burst})"
+                )
+            namespace.bucket_level -= 1.0
+
+    def reserve_secret(self, tenant: str) -> None:
+        """Reserve one slot against the count quota (release on failure
+        or replacement — the reserve/release pair keeps concurrent
+        stores from overshooting ``max_secrets``).
+
+        Raises:
+            TenantQuotaExceeded: the namespace is full.
+        """
+        namespace = self._namespace(tenant)
+        with self._lock:
+            if namespace.secret_count >= namespace.quota.max_secrets:
+                raise TenantQuotaExceeded(
+                    f"namespace {tenant!r} holds "
+                    f"{namespace.secret_count}/{namespace.quota.max_secrets} "
+                    "secrets"
+                )
+            namespace.secret_count += 1
+
+    def note_created(self, tenant: str) -> None:
+        """Account one slot without a quota check.
+
+        Used to reconcile a store that was expected to be a replacement
+        but raced with a concurrent delete: the delete freed the slot
+        this write now occupies, so the count stays exact even if it
+        momentarily reads at the quota ceiling.
+        """
+        namespace = self._namespace(tenant)
+        with self._lock:
+            namespace.secret_count += 1
+
+    def release_secret(self, tenant: str) -> None:
+        """Return one reserved/held slot to the count quota."""
+        namespace = self._namespace(tenant)
+        with self._lock:
+            if namespace.secret_count > 0:
+                namespace.secret_count -= 1
+
+    def secret_count(self, tenant: str) -> int:
+        """Live secrets currently accounted to ``tenant``."""
+        namespace = self._namespace(tenant)
+        with self._lock:
+            return namespace.secret_count
+
+    # ----------------------------------------------------------- generation
+
+    def generate_secret(self, tenant: str, length: int) -> bytes:
+        """Draw ``length`` bytes from the tenant's deterministic
+        generator (advances the stream — repeated calls differ, equal
+        seeds replay equally)."""
+        if not 1 <= length <= 1024:
+            raise NamespaceError(f"generate length {length} out of range")
+        namespace = self._namespace(tenant)
+        with self._lock:
+            return namespace.generator.random_bytes(length)

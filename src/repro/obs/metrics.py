@@ -49,6 +49,9 @@ M_RETRY_BACKOFF_SECONDS = "vnf_sgx_retry_backoff_seconds"
 M_WORKFLOW_VNF_FAILURES = "vnf_sgx_workflow_vnf_failures_total"
 M_VERIFICATION_CACHE = "vnf_sgx_verification_cache_total"
 M_EC_OPS = "vnf_sgx_ec_ops"
+M_KMS_REQUESTS = "vnf_sgx_kms_requests_total"
+M_KMS_REQUEST_SECONDS = "vnf_sgx_kms_request_seconds"
+M_KMS_SECRETS = "vnf_sgx_kms_secrets"
 
 
 class Telemetry:
@@ -166,6 +169,22 @@ class Telemetry:
             "window-table builds, validation-cache hits/misses",
             labelnames=("op",),
         )
+        self.kms_requests = r.counter(
+            M_KMS_REQUESTS,
+            "Key-manager REST requests by operation and HTTP status",
+            labelnames=("op", "status"),
+        )
+        self.kms_request_seconds = r.histogram(
+            M_KMS_REQUEST_SECONDS,
+            "Simulated end-to-end time of one key-manager request",
+            labelnames=("op",),
+        )
+        self.kms_secrets = r.gauge(
+            M_KMS_SECRETS,
+            "Sealed secrets currently resident per KMS shard "
+            "(synced on scrape and after mutations)",
+            labelnames=("shard",),
+        )
 
     # -------------------------------------------------------------- spans
 
@@ -251,4 +270,7 @@ __all__ = [
     "M_EC_OPS",
     "M_RETRY_BACKOFF_SECONDS",
     "M_WORKFLOW_VNF_FAILURES",
+    "M_KMS_REQUESTS",
+    "M_KMS_REQUEST_SECONDS",
+    "M_KMS_SECRETS",
 ]

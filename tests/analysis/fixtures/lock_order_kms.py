@@ -1,0 +1,22 @@
+"""Seeded KMS lock findings.
+
+Analyzed under three virtual paths — ``kms/shard.py`` (the ``kms_shard``
+domain), ``kms/tenancy.py`` (``kms_ns``), and ``pki/keystore.py``
+(``keystore_entries``) — because all three modules guard their state
+with a ``_lock`` leaf and the same two mistakes apply to each.
+"""
+
+
+class Sharded:
+    def leak_into_chain(self, event):
+        with self._lock:                   # acquires the module's leaf
+            self.vm.on_kms_event(event)    # LOCK002: leaf holds chain
+
+    def double_acquire(self, peer, key):
+        with self._lock:                   # acquires the leaf...
+            with peer._lock:               # LOCK005: ...then a sibling's
+                peer.accept(key)
+
+    def local_only(self, key, blob):
+        with self._lock:
+            self._blobs[key] = blob        # ok: no other lock touched

@@ -1,0 +1,24 @@
+"""Seeded KMS secret leaks — analyzed as a non-enclave KMS module.
+
+``tenant_secret`` and ``token_key`` are tainted names: outside the
+shard enclave they must never be returned, logged, or sent.  The same
+code analyzed as ``kms/shard.py`` is exempt (the shard IS the enclave).
+"""
+
+
+def leak_tenant_secret(shard, key):
+    tenant_secret = shard.unseal(key)
+    return tenant_secret  # SEC001
+
+
+def leak_token_key_log(logger, token_key):
+    logger.info("token key %s", token_key)  # SEC002
+
+
+def leak_tenant_secret_transport(channel, tenant_secret):
+    channel.send(tenant_secret)  # SEC006
+
+
+def sanitized_value_is_clean(registry, tenant):
+    value = registry.generate_secret(tenant, 32)
+    return value  # ok: non-secret name, call results sanitize

@@ -1,0 +1,164 @@
+"""KMS under a worker pool: exact accounting across tenants and shards.
+
+Eight threads hammer the service layer directly (the REST endpoint
+serializes per-channel, so the interesting interleavings are below it):
+two tenants spread over four shards, every thread storing, fetching,
+replacing, and deleting against its own key range plus one contended
+shared key per tenant.  Afterwards everything must add up exactly —
+secret counts, quota accounting, audit trails, placement — and no
+thread may ever have seen another tenant's bytes.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import SecretNotFound, TenantAuthError, TenantQuotaExceeded
+from repro.kms import TenantQuota
+
+from tests.kms.conftest import make_world
+
+THREADS = 8
+ROUNDS = 50
+TENANTS = ("alpha", "beta")
+
+
+def _hammer(worker, threads=THREADS):
+    """Run ``worker(index)`` on ``threads`` threads; re-raise failures."""
+    barrier = threading.Barrier(threads)
+
+    def run(index):
+        barrier.wait()  # maximise overlap
+        return worker(index)
+
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        return [f for f in pool.map(run, range(threads))]
+
+
+def test_kms_store_fetch_hammer_counts_add_up():
+    world = make_world(shard_count=4,
+                       quota=TenantQuota(max_secrets=1024))
+    service = world.service
+
+    def worker(index):
+        tenant = TENANTS[index % len(TENANTS)]
+        token = world.tokens[tenant]
+        for round_index in range(ROUNDS):
+            name = f"w{index}-s{round_index}"
+            value = f"{tenant}:{index}:{round_index}".encode()
+            service.store(tenant, token, name, value)
+            assert service.fetch(tenant, token, name) == value
+            # Replace in place: must not consume a second quota slot.
+            service.store(tenant, token, name, value + b"+2")
+            assert service.fetch(tenant, token, name) == value + b"+2"
+        return index
+
+    assert _hammer(worker) == list(range(THREADS))
+
+    per_tenant = THREADS // len(TENANTS) * ROUNDS
+    for tenant in TENANTS:
+        names = service.names(tenant, world.tokens[tenant])
+        assert len(names) == per_tenant
+        assert service.registry.secret_count(tenant) == per_tenant
+        # Exact payloads survived the interleaving.
+        for index in range(THREADS):
+            if TENANTS[index % len(TENANTS)] != tenant:
+                continue
+            for round_index in range(0, ROUNDS, 10):
+                value = service.fetch(tenant, world.tokens[tenant],
+                                      f"w{index}-s{round_index}")
+                assert value == (
+                    f"{tenant}:{index}:{round_index}".encode() + b"+2")
+    # Every secret landed on exactly one shard.
+    assert (sum(service.store_backend.secret_counts().values())
+            == per_tenant * len(TENANTS))
+
+
+def test_kms_contended_replace_and_delete_stays_exact():
+    """All threads fight over ONE key per tenant; the count quota must
+    end exact whatever the interleaving of creates and deletes."""
+    world = make_world(shard_count=4)
+    service = world.service
+
+    def worker(index):
+        tenant = TENANTS[index % len(TENANTS)]
+        token = world.tokens[tenant]
+        for round_index in range(ROUNDS):
+            service.store(tenant, token, "contended",
+                          f"{index}:{round_index}".encode())
+            try:
+                service.delete(tenant, token, "contended")
+            except SecretNotFound:
+                pass  # another thread deleted it first — fine
+        return index
+
+    _hammer(worker)
+
+    for tenant in TENANTS:
+        token = world.tokens[tenant]
+        live = service.names(tenant, token)
+        count = service.registry.secret_count(tenant)
+        assert count == len(live), (tenant, count, live)
+        # And the namespace still works at the end.
+        service.store(tenant, token, "after", b"ok")
+        assert service.fetch(tenant, token, "after") == b"ok"
+
+
+def test_kms_isolation_holds_under_contention():
+    world = make_world(shard_count=4,
+                       quota=TenantQuota(max_secrets=1024))
+    service = world.service
+    denials = []
+    lock = threading.Lock()
+
+    def worker(index):
+        tenant = TENANTS[index % len(TENANTS)]
+        other = TENANTS[(index + 1) % len(TENANTS)]
+        token = world.tokens[tenant]
+        for round_index in range(ROUNDS):
+            service.store(tenant, token, f"mine-{index}-{round_index}",
+                          tenant.encode())
+            # A foreign token must never open this namespace.
+            try:
+                service.fetch(tenant, world.tokens[other],
+                              f"mine-{index}-{round_index}")
+            except TenantAuthError:
+                with lock:
+                    denials.append(index)
+            else:  # pragma: no cover - the failure we are hunting
+                raise AssertionError("cross-tenant fetch succeeded")
+        return index
+
+    _hammer(worker)
+    assert len(denials) == THREADS * ROUNDS
+    # The audit trail recorded every denial in the *target* namespace.
+    for tenant in TENANTS:
+        events = service.audit_trail(tenant)
+        denied = [e for e in events if e.kind == "kms-denied"]
+        stores = [e for e in events if e.kind == "kms-store"]
+        expected = THREADS // len(TENANTS) * ROUNDS
+        assert len(denied) == expected
+        assert len(stores) == expected
+
+
+def test_kms_quota_never_overshoots_under_contention():
+    quota = TenantQuota(max_secrets=16)
+    world = make_world(shard_count=4, quota=quota)
+    service = world.service
+
+    def worker(index):
+        token = world.tokens["alpha"]
+        admitted = 0
+        for round_index in range(ROUNDS):
+            try:
+                service.store("alpha", token,
+                              f"q-{index}-{round_index}", b"v")
+                admitted += 1
+            except TenantQuotaExceeded:
+                pass
+        return admitted
+
+    admitted = sum(_hammer(worker))
+    assert admitted == quota.max_secrets
+    assert service.registry.secret_count("alpha") == quota.max_secrets
+    assert len(service.names("alpha", world.tokens["alpha"])) \
+        == quota.max_secrets

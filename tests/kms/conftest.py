@@ -1,0 +1,76 @@
+"""Shared fixtures for the key-manager tests.
+
+One small, fully deterministic KMS world: a CA, a four-shard service, a
+REST endpoint on the simulated network, and two tenants (``alpha`` and
+``beta``) each authorized through a CA-issued credential.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.crypto.rng import HmacDrbg
+from repro.kms import KeyManagerService, KmsClient, KmsEndpoint, TenantQuota
+from repro.net.address import Address
+from repro.net.clock import VirtualClock
+from repro.net.simnet import Network
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import Certificate
+from repro.pki.name import DistinguishedName
+
+KMS_ADDRESS = Address("kms.example.org", 7100)
+
+
+class KmsWorld(NamedTuple):
+    """Everything a KMS test needs, pre-wired."""
+
+    clock: VirtualClock
+    network: Network
+    ca: CertificateAuthority
+    service: KeyManagerService
+    endpoint: KmsEndpoint
+    certificates: Dict[str, Certificate]
+    tokens: Dict[str, str]
+
+
+def make_world(shard_count: int = 4, seed: bytes = b"kms-test",
+               quota: TenantQuota = TenantQuota()) -> KmsWorld:
+    clock = VirtualClock()
+    network = Network(clock)
+    rng = HmacDrbg(b"kms-test-ca")
+    ca = CertificateAuthority(DistinguishedName("Test-CA", "test"), now=0,
+                              rng=rng)
+    service = KeyManagerService(ca, clock, seed=seed,
+                                shard_count=shard_count)
+    endpoint = KmsEndpoint(service, network, KMS_ADDRESS)
+    certificates: Dict[str, Certificate] = {}
+    tokens: Dict[str, str] = {}
+    for tenant in ("alpha", "beta"):
+        service.create_tenant(tenant, quota)
+        key = generate_keypair(rng)
+        certificate = ca.issue(DistinguishedName(f"vnf-{tenant}", "vnf"),
+                               key.public.to_bytes(), now=0)
+        certificates[tenant] = certificate
+        tokens[tenant] = service.authorize(tenant, certificate)
+    return KmsWorld(clock, network, ca, service, endpoint, certificates,
+                    tokens)
+
+
+@pytest.fixture
+def world() -> KmsWorld:
+    return make_world()
+
+
+@pytest.fixture
+def alpha(world: KmsWorld) -> KmsClient:
+    return KmsClient(world.network, KMS_ADDRESS, "alpha",
+                     world.tokens["alpha"], "client.example.org")
+
+
+@pytest.fixture
+def beta(world: KmsWorld) -> KmsClient:
+    return KmsClient(world.network, KMS_ADDRESS, "beta",
+                     world.tokens["beta"], "client.example.org")

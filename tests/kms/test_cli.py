@@ -1,0 +1,37 @@
+"""The ``repro kms`` command and the E13 experiment-index row."""
+
+import io
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_kms_command_smoke():
+    code, output = run_cli("kms", "--tenants", "2", "--shards", "4",
+                           "--secrets", "3", "--seed", "cli-kms")
+    assert code == 0
+    assert "tenant-0: authorized via vnf-1" in output
+    assert "tenant-1: authorized via vnf-2" in output
+    assert "tenant-0: 3 secret(s)" in output
+    assert "shard placement: shard-0=" in output
+    assert "2 tenant(s) x 3 secret(s) over 4 shard(s)" in output
+
+
+def test_kms_command_is_deterministic():
+    first = run_cli("kms", "--tenants", "2", "--shards", "2",
+                    "--secrets", "2", "--seed", "cli-kms-det")
+    second = run_cli("kms", "--tenants", "2", "--shards", "2",
+                     "--secrets", "2", "--seed", "cli-kms-det")
+    assert first == second and first[0] == 0
+
+
+def test_experiments_listing_includes_e13():
+    code, output = run_cli("experiments")
+    assert code == 0
+    assert "E13" in output
+    assert "key manager" in output

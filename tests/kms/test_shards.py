@@ -1,0 +1,137 @@
+"""Shards: sealing at rest, consistent-hash placement, rebalancing."""
+
+import pytest
+
+from repro.errors import KmsError, SecretNotFound
+from repro.kms import HashRing
+from repro.kms.hashring import DEFAULT_VNODES
+
+from tests.kms.conftest import make_world
+
+
+# --------------------------------------------------------- sealed at rest
+
+
+def test_secrets_are_sealed_at_rest(world):
+    service = world.service
+    plaintext = b"the-database-password"
+    service.store("alpha", world.tokens["alpha"], "db", plaintext)
+    shard = service.store_backend.shard_for("alpha", "db")
+    blob = shard.sealed_blob("alpha/db")
+    # The host-visible form is AES-GCM ciphertext bound to the shard
+    # enclave's identity, never the plaintext.
+    assert plaintext not in blob.ciphertext
+    assert plaintext not in blob.nonce + blob.key_id
+    assert service.store_backend.fetch("alpha", "db") == plaintext
+
+
+def test_unseal_requires_matching_shard_identity(world):
+    service = world.service
+    service.store("alpha", world.tokens["alpha"], "db", b"x")
+    shards = service.store_backend.shards()
+    owner = service.store_backend.shard_for("alpha", "db")
+    other = next(s for s in shards if s.label != owner.label)
+    blob = owner.sealed_blob("alpha/db")
+    from repro.errors import SealingError
+    from repro.sgx.sealing import unseal
+
+    with pytest.raises(SealingError):
+        unseal(other._fuse_key, other.identity, blob)
+
+
+def test_missing_secret_raises(world):
+    with pytest.raises(SecretNotFound):
+        world.service.store_backend.fetch("alpha", "ghost")
+    with pytest.raises(SecretNotFound):
+        world.service.store_backend.delete("alpha", "ghost")
+
+
+# ------------------------------------------------------------- placement
+
+
+KEYS = [f"tenant-{t}/secret-{i}" for t in range(4) for i in range(64)]
+
+
+def test_placement_is_deterministic_across_instances():
+    """Equal shard sets place equally — the rebalancing determinism the
+    fleet relies on (same DRBG seed ⇒ same world ⇒ same placement)."""
+    first = make_world(seed=b"placement")
+    second = make_world(seed=b"placement")
+    ring_a = first.service.store_backend.ring()
+    ring_b = second.service.store_backend.ring()
+    assert ring_a.placement(KEYS) == ring_b.placement(KEYS)
+
+    # And the observed store-side placement matches too.
+    for world in (first, second):
+        for index in range(16):
+            world.service.store("alpha", world.tokens["alpha"],
+                                f"s{index}", b"v")
+    assert (first.service.store_backend.secret_counts()
+            == second.service.store_backend.secret_counts())
+
+
+def test_vnodes_spread_load():
+    """With the default vnode count no shard owns a runaway share."""
+    ring = HashRing([f"shard-{i}" for i in range(4)], vnodes=DEFAULT_VNODES)
+    placement = ring.placement(KEYS)
+    counts = {shard: 0 for shard in ring.shard_ids()}
+    for shard in placement.values():
+        counts[shard] += 1
+    assert all(count > 0 for count in counts.values())
+    assert max(counts.values()) / len(KEYS) < 0.45  # fair, not perfect
+
+
+def test_rebalancing_moves_a_minority_of_keys():
+    """Adding one shard to four moves roughly 1/5 of the keys — never
+    the wholesale reshuffle a modulo scheme would cause."""
+    before = HashRing([f"shard-{i}" for i in range(4)])
+    after = HashRing([f"shard-{i}" for i in range(5)])
+    moved = before.moved_keys(KEYS, after)
+    assert 0 < len(moved) < len(KEYS) // 2
+    # Unmoved keys keep their exact owner.
+    placement_before = before.placement(KEYS)
+    placement_after = after.placement(KEYS)
+    for key in KEYS:
+        if key not in moved:
+            assert placement_before[key] == placement_after[key]
+    # Every moved key landed on the new shard (pure consistent hashing).
+    assert {placement_after[key] for key in moved} == {"shard-4"}
+
+
+def test_ring_topology_errors():
+    ring = HashRing(["a", "b"])
+    with pytest.raises(KmsError, match="already on the ring"):
+        ring.add_shard("a")
+    with pytest.raises(KmsError, match="not on the ring"):
+        ring.remove_shard("zzz")
+    ring.remove_shard("b")
+    with pytest.raises(KmsError, match="last shard"):
+        ring.remove_shard("a")
+    with pytest.raises(KmsError, match="at least one shard"):
+        HashRing([])
+
+
+# ---------------------------------------------------------- the pipeline
+
+
+def test_shard_pipeline_overlaps_work():
+    """Sealing charges the owning shard's private timeline; the global
+    clock only pays serialized dispatch until quiesce() drains the
+    slowest shard."""
+    world = make_world(shard_count=4)
+    service = world.service
+    cost = service.store_backend.cost_model
+    start = world.clock.now()
+    for index in range(32):
+        service.store("alpha", world.tokens["alpha"], f"s{index}", b"v")
+    dispatched = world.clock.now() - start
+    assert dispatched == pytest.approx(32 * cost.dispatch_seconds)
+
+    drained = service.quiesce() - start
+    counts = service.store_backend.secret_counts()
+    busiest = max(counts.values())
+    # The pipeline drains at the busiest shard's completion time, which
+    # divides the serial seal bill by the effective parallelism.
+    expected = busiest * cost.seal_seconds
+    assert drained == pytest.approx(expected, rel=0.05)
+    assert drained < 32 * cost.seal_seconds / 2

@@ -1,0 +1,151 @@
+"""Tenancy: namespaces, credential-rooted tokens, and quotas."""
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.errors import (
+    NamespaceError,
+    TenantAuthError,
+    TenantQuotaExceeded,
+)
+from repro.kms import TenantQuota
+from repro.kms.tenancy import valid_name
+from repro.pki.name import DistinguishedName
+
+from tests.kms.conftest import make_world
+
+
+# ------------------------------------------------------------- namespaces
+
+
+def test_namespace_collision_rejected(world):
+    with pytest.raises(NamespaceError, match="already exists"):
+        world.service.create_tenant("alpha")
+
+
+@pytest.mark.parametrize("bad", ["", "a/b", "x y", "a" * 129, "tenänt"])
+def test_invalid_tenant_names_rejected(world, bad):
+    assert not valid_name(bad)
+    with pytest.raises(NamespaceError):
+        world.service.create_tenant(bad)
+
+
+def test_unknown_namespace_raises(world):
+    with pytest.raises(NamespaceError, match="unknown namespace"):
+        world.service.registry.authenticate("gamma", "00" * 32)
+
+
+# ------------------------------------------------------------ authorization
+
+
+def test_token_is_bound_to_namespace(world):
+    registry = world.service.registry
+    registry.authenticate("alpha", world.tokens["alpha"])
+    with pytest.raises(TenantAuthError):
+        registry.authenticate("alpha", world.tokens["beta"])
+    with pytest.raises(TenantAuthError):
+        registry.authenticate("beta", world.tokens["alpha"])
+
+
+def test_missing_or_malformed_token_denied(world):
+    registry = world.service.registry
+    with pytest.raises(TenantAuthError, match="missing"):
+        registry.authenticate("alpha", None)
+    with pytest.raises(TenantAuthError, match="malformed"):
+        registry.authenticate("alpha", "not-hex!")
+
+
+def test_foreign_certificate_cannot_authorize(world):
+    """A certificate the CA never issued mints nothing."""
+    from repro.crypto.rng import HmacDrbg
+    from repro.pki.ca import CertificateAuthority
+
+    other_ca = CertificateAuthority(DistinguishedName("Rogue-CA", "rogue"),
+                                    now=0, rng=HmacDrbg(b"rogue"))
+    key = generate_keypair(HmacDrbg(b"rogue-key"))
+    forged = other_ca.issue(DistinguishedName("intruder", "vnf"),
+                            key.public.to_bytes(), now=0)
+    # Denied either way: an unknown serial, or (when the rogue CA's
+    # serial counter collides with ours) a fingerprint mismatch.
+    with pytest.raises(TenantAuthError,
+                       match="not issued|does not match"):
+        world.service.authorize("alpha", forged)
+
+
+def test_revoked_certificate_cannot_authorize(world):
+    certificate = world.certificates["alpha"]
+    world.ca.revoke(certificate.serial, now=0)
+    with pytest.raises(TenantAuthError, match="revoked"):
+        world.service.authorize("alpha", certificate)
+
+
+# ------------------------------------------------------------ count quota
+
+
+def test_count_quota_exhaustion():
+    world = make_world(quota=TenantQuota(max_secrets=3))
+    service = world.service
+    token = world.tokens["alpha"]
+    for index in range(3):
+        service.store("alpha", token, f"s{index}", b"v")
+    with pytest.raises(TenantQuotaExceeded, match="3/3"):
+        service.store("alpha", token, "s3", b"v")
+    # Replacing an existing secret does not consume a new slot.
+    service.store("alpha", token, "s0", b"v2")
+    # Deleting frees a slot.
+    service.delete("alpha", token, "s1")
+    service.store("alpha", token, "s3", b"v")
+    assert service.registry.secret_count("alpha") == 3
+
+
+def test_quotas_are_per_namespace():
+    world = make_world(quota=TenantQuota(max_secrets=1))
+    world.service.store("alpha", world.tokens["alpha"], "only", b"a")
+    # Alpha being full does not affect beta.
+    world.service.store("beta", world.tokens["beta"], "only", b"b")
+    with pytest.raises(TenantQuotaExceeded):
+        world.service.store("alpha", world.tokens["alpha"], "two", b"x")
+
+
+# ------------------------------------------------------------- rate quota
+
+
+def test_rate_quota_token_bucket():
+    world = make_world(quota=TenantQuota(max_secrets=100,
+                                         ops_per_second=10.0, burst=3))
+    service, token = world.service, world.tokens["alpha"]
+    # The burst admits 3 back-to-back requests at t=0...
+    for index in range(3):
+        service.store("alpha", token, f"s{index}", b"v")
+    # ...then the bucket is dry (store ops advance sim time by far less
+    # than the 0.1 s one refill token needs).
+    with pytest.raises(TenantQuotaExceeded, match="10.0/s"):
+        service.store("alpha", token, "s3", b"v")
+    # Advancing simulated time refills deterministically.
+    world.clock.advance(0.25, account="test")
+    service.store("alpha", token, "s3", b"v")
+    service.store("alpha", token, "s4", b"v")
+    with pytest.raises(TenantQuotaExceeded):
+        service.store("alpha", token, "s5", b"v")
+
+
+# ------------------------------------------------------------- generation
+
+
+def test_generate_is_deterministic_per_seed():
+    first = make_world(seed=b"gen-seed")
+    second = make_world(seed=b"gen-seed")
+    a = first.service.registry.generate_secret("alpha", 32)
+    b = second.service.registry.generate_secret("alpha", 32)
+    assert a == b
+    # The stream advances: a second draw differs from the first.
+    assert first.service.registry.generate_secret("alpha", 32) != a
+    # Different tenants draw from independent streams.
+    assert second.service.registry.generate_secret("beta", 32) != b
+
+
+def test_generate_length_bounds(world):
+    with pytest.raises(NamespaceError, match="out of range"):
+        world.service.registry.generate_secret("alpha", 0)
+    with pytest.raises(NamespaceError, match="out of range"):
+        world.service.registry.generate_secret("alpha", 4096)
