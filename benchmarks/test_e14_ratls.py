@@ -1,0 +1,159 @@
+"""E14 — RA-TLS attested channels vs. the out-of-band enrollment protocol.
+
+The paper's Figure 1 enrolls a VNF out-of-band: host attestation
+(steps 1-2), enclave attestation and credential provisioning through the
+Verification Manager (steps 3-5), then the controller connection
+(step 6).  RA-TLS (:mod:`repro.tls.ratls`) collapses steps 3-6 into the
+controller handshake itself: the enclave self-signs a quote-bearing
+certificate locally and the controller-side verifier attests it while
+validating the client flight.
+
+Two gates, extending E10 and E12:
+
+* **O(1) IAS across reconnects** (extends E10): a reconnecting VNF
+  resumes its *attested* session — the memoised AVR verdict plus the
+  TLS session ticket mean zero further IAS traffic however often the
+  VNF bounces.
+
+* **≥5× cut in enrollment round trips at fleet scale** (extends E12):
+  "enrollment machinery" is every message that is *not* on the
+  controller session both paths establish identically — agent REST
+  exchanges, Verification Manager traffic and IAS round trips,
+  separated exactly by :meth:`repro.net.simnet.Network.messages_to`.
+  The standard path pays ~20 machinery messages per VNF (host
+  re-attestation, four agent exchanges, two fresh-connection IAS
+  verifications); RA-TLS pays only the verifier's pipelined IAS
+  exchange (~2 per VNF over the pooled connection).
+"""
+
+import pytest
+
+from repro.bench.harness import BenchReport, Table, smoke_mode
+from repro.core import Deployment
+from repro.core.workflow import CONTROLLER_HOST
+
+#: Fleet shape for the round-trip gate.
+FLEET = 4 if smoke_mode() else 16
+HOSTS = 2 if smoke_mode() else 4
+#: Reconnect count for the O(1)-IAS gate.
+RECONNECTS = 8 if smoke_mode() else 32
+#: Machinery round trips must drop by at least this factor at fleet
+#: scale (the ISSUE gate); smoke mode keeps the same bar — the ratio is
+#: a protocol property, not a wall-clock one, so load cannot erode it.
+MACHINERY_GATE = 5.0
+
+
+def _machinery(dep) -> int:
+    """Messages spent on enrollment machinery so far: everything not on
+    the controller session (agents, Verification Manager, IAS)."""
+    return dep.network.messages_sent - dep.network.messages_to(
+        CONTROLLER_HOST
+    )
+
+
+@pytest.mark.experiment("E14")
+def test_e14_ratls_attested_channels():
+    report = BenchReport("E14")
+
+    # ------------------------------------------------- gate 1: O(1) IAS
+    dep = Deployment(seed=b"bench-e14-reconnect", vnf_count=1)
+    verifier = dep.build_ratls()
+    dep.enroll_ratls("vnf-1")
+    enclave = dep.credential_enclaves["vnf-1"].enclave
+
+    assert dep.ias.quotes_verified == 1
+    assert verifier.validations == 1
+
+    ias_before = dep.ias.quotes_verified
+    reconnect_msgs = []
+    for _ in range(RECONNECTS):
+        enclave.ecall("disconnect")
+        before = dep.network.messages_sent
+        enclave.ecall("request", "GET",
+                      "/wm/core/controller/summary/json", b"")
+        reconnect_msgs.append(dep.network.messages_sent - before)
+
+    # O(1): not a single further IAS call, not a single further quote
+    # validation — the ticket plus the memoised verdict carry the trust.
+    assert dep.ias.quotes_verified == ias_before
+    assert verifier.validations == 1
+    assert verifier.resumption_checks == RECONNECTS
+    assert verifier.resumptions_denied == 0
+    # Reconnects are flat: every one costs the same handful of messages.
+    assert len(set(reconnect_msgs)) == 1
+
+    recon_table = Table(
+        f"E14: {RECONNECTS} reconnects of an RA-TLS-enrolled VNF",
+        ["reconnects", "ias_calls", "quote_validations",
+         "msgs_per_reconnect"],
+    )
+    recon_table.add_row(RECONNECTS, dep.ias.quotes_verified - ias_before,
+                        verifier.validations - 1, reconnect_msgs[0])
+    recon_table.show()
+    report.add_table(recon_table)
+    report.add(
+        "reconnects", reconnects=RECONNECTS,
+        ias_calls=dep.ias.quotes_verified - ias_before,
+        messages_per_reconnect=reconnect_msgs[0],
+    )
+
+    # --------------------------------------- gate 2: machinery at scale
+    # Standard path: the Figure 1 protocol, one VNF at a time (the same
+    # reference loop experiments E10-E12 compare against).
+    std = Deployment(seed=b"bench-e14-std", vnf_count=FLEET,
+                     host_count=HOSTS)
+    std_machinery0 = _machinery(std)
+    std_total0 = std.network.messages_sent
+    for name in std.vnf_names:
+        std.enroll(name)
+    std_machinery = _machinery(std) - std_machinery0
+    std_total = std.network.messages_sent - std_total0
+
+    # RA-TLS path: local credential preparation, attestation inside the
+    # handshake, IAS pipelined over the verifier's pooled connection.
+    rat = Deployment(seed=b"bench-e14-ratls", vnf_count=FLEET,
+                     host_count=HOSTS)
+    rat.build_ratls()
+    rat_machinery0 = _machinery(rat)
+    rat_total0 = rat.network.messages_sent
+    for name in rat.vnf_names:
+        rat.enroll_ratls(name)
+    rat_machinery = _machinery(rat) - rat_machinery0
+    rat_total = rat.network.messages_sent - rat_total0
+
+    assert rat.ias.quotes_verified == FLEET      # one verify per VNF...
+    assert rat.ratls_ias_pool.connects == 1      # ...over one connection
+    assert rat.ratls_ias_pool.reused_exchanges == FLEET - 1
+
+    ratio = std_machinery / rat_machinery
+    total_ratio = std_total / rat_total
+    fleet_table = Table(
+        f"E14: enrollment round trips, {FLEET} VNFs on {HOSTS} hosts",
+        ["path", "machinery_msgs", "per_vnf", "total_msgs",
+         "total_per_vnf"],
+    )
+    fleet_table.add_row("standard (steps 1-6)", std_machinery,
+                        std_machinery / FLEET, std_total,
+                        std_total / FLEET)
+    fleet_table.add_row("ra-tls", rat_machinery, rat_machinery / FLEET,
+                        rat_total, rat_total / FLEET)
+    fleet_table.add_row("ratio", f"{ratio:.2f}x", "", f"{total_ratio:.2f}x",
+                        "")
+    fleet_table.show()
+    report.add_table(fleet_table)
+    report.add(
+        "fleet", vnfs=FLEET, hosts=HOSTS,
+        standard_machinery_messages=std_machinery,
+        ratls_machinery_messages=rat_machinery,
+        machinery_ratio=ratio,
+        standard_total_messages=std_total,
+        ratls_total_messages=rat_total,
+        total_ratio=total_ratio,
+    )
+    report.write()
+
+    assert ratio >= MACHINERY_GATE, (
+        f"enrollment machinery round trips fell only {ratio:.2f}x "
+        f"(gate {MACHINERY_GATE}x): std={std_machinery} "
+        f"ratls={rat_machinery} for {FLEET} VNFs"
+    )

@@ -51,6 +51,7 @@ LEAF_DOMAINS: Set[str] = {
     "clock", "audit", "tracer", "simnet", "agent",
     "ias_pool", "ec_stats",
     "kms_shard", "kms_ns", "keystore_entries",
+    "ratls",
 }
 
 #: Fleet-outer locks wrap whole operations *before* the core machinery
@@ -68,6 +69,7 @@ OUTER_DOMAINS: Set[str] = {"host", "keystore"}
 NON_REENTRANT_DOMAINS: Set[str] = {
     "clock", "audit", "ec_stats", "host", "keystore", "cache",
     "kms_shard", "kms_ns", "keystore_entries",
+    "ratls",
 }
 
 #: Cross-chain nesting: holding a ``core`` lock while updating a metric
@@ -105,6 +107,7 @@ LOCK_SITES: Dict[Tuple[str, Optional[str], str], str] = {
     ("kms/tenancy.py", None, "_lock"): "kms_ns",
     ("kms/service.py", None, "_trails_lock"): "kms_ns",
     ("pki/keystore.py", None, "_lock"): "keystore_entries",
+    ("tls/ratls.py", None, "_lock"): "ratls",
 }
 
 #: Attribute-name hints used to resolve *calls made while holding a lock*

@@ -53,6 +53,9 @@ SECRET_NAMES: Set[str] = {
     "mac_key", "_mac_key",
     "tenant_secret", "_tenant_secret",
     "token_key", "_token_key",
+    "ratls_key", "_ratls_key",
+    "ticket_key", "_ticket_key",
+    "resumption_ticket", "_resumption_ticket",
 }
 
 #: Calls whose *result* is a secret even though calls normally sanitize.

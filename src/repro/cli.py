@@ -6,6 +6,7 @@ Examples::
     python -m repro attest --tamper /usr/bin/dockerd
     python -m repro enroll --vnfs 3 --csr
     python -m repro fleet --vnfs 16 --workers 8
+    python -m repro ratls --vnfs 4 --hosts 2
     python -m repro kms --tenants 4 --shards 4
     python -m repro metrics --vnfs 2
     python -m repro lint --strict
@@ -40,6 +41,8 @@ EXPERIMENTS = [
      "benchmarks/test_e12_fleet.py"),
     ("E13", "key manager: throughput vs. tenants and shard count",
      "benchmarks/test_e13_kms.py"),
+    ("E14", "RA-TLS attested channels vs. out-of-band enrolment",
+     "benchmarks/test_e14_ratls.py"),
 ]
 
 
@@ -91,6 +94,15 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--traces", action="store_true",
                          help="print the trace JSON instead of the "
                               "Prometheus scrape text")
+
+    ratls = sub.add_parser(
+        "ratls",
+        help="enrol every VNF over RA-TLS attested channels and compare "
+             "round trips against the out-of-band protocol")
+    _common_flags(ratls)
+    ratls.add_argument("--reconnects", type=int, default=5,
+                       help="attested-resumption reconnects per VNF "
+                            "(default 5)")
 
     kms = sub.add_parser(
         "kms",
@@ -229,6 +241,56 @@ def _cmd_fleet(args, out) -> int:
     return 0 if report.fully_succeeded else 1
 
 
+def _cmd_ratls(args, out) -> int:
+    from repro.core.workflow import CONTROLLER_HOST
+
+    def machinery(dep):
+        return dep.network.messages_sent - dep.network.messages_to(
+            CONTROLLER_HOST
+        )
+
+    # Reference: the out-of-band Figure 1 protocol, one VNF at a time.
+    std = _build_deployment(args)
+    std_start = machinery(std)
+    for vnf_name in std.vnf_names:
+        std.enroll(vnf_name)
+    std_machinery = machinery(std) - std_start
+
+    deployment = _build_deployment(args)
+    verifier = deployment.build_ratls()
+    ratls_start = machinery(deployment)
+    for vnf_name in deployment.vnf_names:
+        session = deployment.enroll_ratls(vnf_name)
+        out.write(
+            f"{vnf_name}: attested in-handshake on "
+            f"{deployment.vnf_host[vnf_name].name} "
+            f"(sim={session.total_simulated_seconds * 1000:.3f} ms)\n"
+        )
+    ratls_machinery = machinery(deployment) - ratls_start
+
+    ias_before = deployment.ias.quotes_verified
+    for vnf_name in deployment.vnf_names:
+        enclave = deployment.credential_enclaves[vnf_name].enclave
+        for _ in range(args.reconnects):
+            enclave.ecall("disconnect")
+            enclave.ecall("request", "GET",
+                          "/wm/core/controller/summary/json", b"")
+    out.write(
+        f"{args.reconnects} reconnect(s) per VNF: "
+        f"+{deployment.ias.quotes_verified - ias_before} IAS call(s), "
+        f"{verifier.resumption_checks} attested resumption(s)\n"
+    )
+    count = len(deployment.vnf_names)
+    ratio = (std_machinery / ratls_machinery if ratls_machinery else
+             float("inf"))
+    out.write(
+        f"enrollment machinery: standard {std_machinery} msgs "
+        f"({std_machinery / count:.1f}/vnf) vs. ra-tls {ratls_machinery} "
+        f"msgs ({ratls_machinery / count:.1f}/vnf) — {ratio:.1f}x fewer\n"
+    )
+    return 0
+
+
 def _cmd_kms(args, out) -> int:
     deployment = _build_deployment(args)
     deployment.run_workflow()  # enrol VNFs: tenant tokens need credentials
@@ -306,6 +368,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "attest": _cmd_attest,
         "enroll": _cmd_enroll,
         "fleet": _cmd_fleet,
+        "ratls": _cmd_ratls,
         "kms": _cmd_kms,
         "metrics": _cmd_metrics,
         "lint": _cmd_lint,

@@ -48,6 +48,8 @@ class CredentialEnclaveBehavior:
         "complete_provisioning",
         "generate_csr",
         "install_certificate",
+        "ratls_begin",
+        "ratls_install",
         "has_credentials",
         "credential_subject",
         "request",
@@ -144,6 +146,57 @@ class CredentialEnclaveBehavior:
         for slot in ("csr_key", "delivery_key", "vm_nonce"):
             self._api.memory.delete(slot)
         return certificate.subject.common_name
+
+    # --------------------------------------------- RA-TLS credential path
+
+    def ratls_begin(self, qe_target: TargetInfo) -> bytes:
+        """Generate the RA-TLS leaf key in-enclave; returns a report whose
+        report-data commits to the key (Knauth et al.'s binding).
+
+        No VM nonce: RA-TLS freshness comes from the TLS handshake's
+        proof of key possession, not from a per-run challenge — that is
+        what lets the IAS verdict for this quote be reused verbatim on
+        every reconnect.
+        """
+        from repro.tls.ratls import ratls_report_data
+
+        ratls_key = generate_keypair(self._api.rng)
+        self._api.memory.write("ratls_key", ratls_key)
+        return self._api.create_report(
+            qe_target, ratls_report_data(ratls_key.public.to_bytes())
+        ).to_bytes()
+
+    def ratls_install(self, quote_bytes: bytes, subject_name: str,
+                      san: Tuple[str, ...], anchors: Tuple[bytes, ...],
+                      controller_address: str,
+                      validity_seconds: int) -> str:
+        """Assemble the quote-bearing self-signed certificate and install
+        it as this enclave's controller credential."""
+        from repro.tls.ratls import build_ratls_certificate, ratls_report_data
+
+        if not self._api.memory.contains("ratls_key"):
+            raise ProvisioningError("ratls_begin was not called")
+        ratls_key: EcPrivateKey = self._api.memory.read("ratls_key")
+        quote = Quote.from_bytes(quote_bytes)
+        if quote.report_data != ratls_report_data(
+                ratls_key.public.to_bytes()):
+            raise ProvisioningError(
+                "quote does not bind the in-enclave RA-TLS key"
+            )
+        certificate = build_ratls_certificate(
+            ratls_key, subject_name, quote_bytes,
+            now=self._untrusted_now(), validity_seconds=validity_seconds,
+            san=tuple(san),
+        )
+        bundle = CredentialBundle(
+            private_key_bytes=ratls_key.to_bytes(),
+            certificate_chain=(certificate.to_bytes(),),
+            controller_anchors=tuple(anchors),
+            controller_address=controller_address,
+        )
+        self._install_bundle(bundle)
+        self._api.memory.delete("ratls_key")
+        return subject_name
 
     def _install_bundle(self, bundle: CredentialBundle) -> None:
         private_key = EcPrivateKey.from_bytes(bundle.private_key_bytes)
@@ -301,6 +354,25 @@ class CredentialEnclave:
         """CSR variant: install the CA-signed certificate."""
         return self.enclave.ecall("install_certificate", certificate_bytes,
                                   tuple(anchors), controller_address)
+
+    # --------------------------------------------------------------- RA-TLS
+
+    def ratls_begin(self, basename: bytes) -> Quote:
+        """Start the RA-TLS path: returns the quote binding the in-enclave
+        leaf key (report-data = hash of its public key)."""
+        qe = self.host.platform.quoting_enclave
+        report_bytes = self.enclave.ecall("ratls_begin", qe.target_info())
+        return qe.generate(Report.from_bytes(report_bytes), basename)
+
+    def ratls_install(self, quote: Quote, anchors, controller_address: str,
+                      validity_seconds: int) -> str:
+        """Finish the RA-TLS path: the enclave self-signs its quote-bearing
+        certificate and installs it as the controller credential."""
+        return self.enclave.ecall(
+            "ratls_install", quote.to_bytes(), self.vnf_name,
+            (self.host.name,), tuple(anchors), controller_address,
+            validity_seconds,
+        )
 
     # ------------------------------------------------------------ REST API
 

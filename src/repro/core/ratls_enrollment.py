@@ -1,0 +1,134 @@
+"""RA-TLS enrollment: attestation rides the first controller handshake.
+
+The classic :class:`~repro.core.enrollment.EnrollmentSession` runs the
+paper's Figure 1 out-of-band: host attestation (steps 1-2), enclave
+attestation + credential provisioning through the Verification Manager
+(steps 3-5), and only then the controller connection (step 6) — every
+step a separate protocol round trip over the simulated network.
+
+The RA-TLS alternative collapses steps 3-6 into the TLS handshake
+itself: the enclave generates its key, quotes the key binding, and
+self-signs a quote-bearing certificate *locally* (no VM round trips,
+no CA issuance); the controller's :class:`~repro.tls.ratls.RatlsVerifier`
+then attests the quote during the handshake, reusing the memoised IAS
+verdict on every reconnect.  Experiment E14 measures both effects:
+O(1) IAS calls across reconnects and the multi-× cut in enrollment
+round trips at fleet scale.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.credential_enclave import CredentialEnclave
+from repro.core.enrollment import StepTiming
+from repro.errors import EnrollmentError
+
+STATE_INIT = "init"
+STATE_PREPARED = "ratls-prepared"
+STATE_ENROLLED = "enrolled"
+STATE_FAILED = "failed"
+
+#: Default validity of a self-signed RA-TLS certificate, in simulated
+#: seconds.  Shorter-lived than CA credentials is fine: renewal is a
+#: purely local re-sign, not a provisioning protocol run.
+DEFAULT_VALIDITY_SECONDS = 24 * 3600
+
+
+@dataclass
+class RatlsEnrollmentSession:
+    """Drives one VNF through the RA-TLS attested-channel path.
+
+    Args:
+        enclave: the VNF's credential-enclave handle (host side).
+        verifier: the controller-side RA-TLS verifier (from
+            ``vm.ratls_verifier()``) — used only to pre-register the
+            subject so revocation covers identities that have not
+            reconnected yet.
+        basename: EPID basename for the quote (deployment policy's).
+        anchors: encoded server anchors for validating the controller.
+        controller_address: the RA-TLS northbound address.
+        sim_now: simulated-time source for timings.
+        telemetry: optional :class:`repro.obs.Telemetry`.
+    """
+
+    enclave: CredentialEnclave
+    verifier: object
+    basename: bytes
+    anchors: tuple
+    controller_address: str
+    sim_now: Callable[[], float] = lambda: 0.0
+    telemetry: Optional[object] = None
+    validity_seconds: int = DEFAULT_VALIDITY_SECONDS
+    state: str = STATE_INIT
+    timings: List[StepTiming] = field(default_factory=list)
+
+    def _timed(self, step: str, fn: Callable[[], object]) -> object:
+        tel = self.telemetry
+        sim_start = self.sim_now()
+        wall_start = time.perf_counter()
+        try:
+            with (tel.span(step, vnf=self.enclave.vnf_name)
+                  if tel is not None else nullcontext()):
+                result = fn()
+        except Exception:
+            self.state = STATE_FAILED
+            raise
+        simulated = self.sim_now() - sim_start
+        self.timings.append(StepTiming(
+            step=step,
+            simulated_seconds=simulated,
+            wall_seconds=time.perf_counter() - wall_start,
+        ))
+        if tel is not None:
+            tel.workflow_step_seconds.labels(step=step).observe(simulated)
+        return result
+
+    # ----------------------------------------------------------- the steps
+
+    def prepare(self) -> str:
+        """Local credential preparation: quote the in-enclave key and
+        self-sign the quote-bearing certificate.  No network traffic —
+        the quoting enclave and the self-signature are host-local."""
+        if self.state != STATE_INIT:
+            raise EnrollmentError(f"prepare in state {self.state}")
+
+        def build_credential():
+            quote = self.enclave.ratls_begin(self.basename)
+            subject = self.enclave.ratls_install(
+                quote, self.anchors, self.controller_address,
+                self.validity_seconds,
+            )
+            self.verifier.register_subject(
+                subject, (self.enclave.host.name,)
+            )
+            return subject
+
+        subject = self._timed("ratls-credential-preparation",
+                              build_credential)
+        self.state = STATE_PREPARED
+        return subject
+
+    def connect(self, client) -> dict:
+        """The attested connect: the handshake itself carries the quote,
+        so this one exchange is attestation + channel setup + first
+        authenticated controller call."""
+        if self.state != STATE_PREPARED:
+            raise EnrollmentError(f"connect in state {self.state}")
+        summary = self._timed("ratls-attested-connect", client.summary)
+        self.state = STATE_ENROLLED
+        return summary
+
+    def run(self, client) -> List[StepTiming]:
+        """Run both steps; returns the timing breakdown."""
+        self.prepare()
+        self.connect(client)
+        return list(self.timings)
+
+    @property
+    def total_simulated_seconds(self) -> float:
+        """Sum of per-step simulated time."""
+        return sum(t.simulated_seconds for t in self.timings)

@@ -115,6 +115,7 @@ class VerificationManager:
         self._issued: Dict[str, Certificate] = {}  # vnf name -> current cert
         self._vnf_host: Dict[str, str] = {}        # vnf name -> host name
         self._crl_subscribers: List[object] = []   # TlsConfigs to refresh
+        self._ratls_verifiers: List[object] = []   # RatlsVerifier instances
 
     # ----------------------------------------------------------- telemetry
 
@@ -131,6 +132,10 @@ class VerificationManager:
         self.audit.observer = (
             telemetry.observe_audit if telemetry is not None else None
         )
+        with self._lock:
+            verifiers = list(self._ratls_verifiers)
+        for verifier in verifiers:
+            verifier.instrument(telemetry)
 
     def swap_ias_client(self, client: IasClient) -> IasClient:
         """Install a different IAS client; returns the previous one.
@@ -457,6 +462,49 @@ class VerificationManager:
                           f"serial {certificate.serial} (csr)")
         return certificate
 
+    # ---------------------------------------------------------------- RA-TLS
+
+    def verify_ratls_evidence(self, quote: Quote, subject: str) -> None:
+        """RA-TLS evidence hook: verify an embedded quote via the IAS
+        path with verdict memoisation.
+
+        The nonce is **empty** by design: the quote inside an RA-TLS
+        certificate is generated once (report-data binds the leaf key,
+        not a challenge) and re-presented verbatim on every reconnect,
+        so the :class:`VerificationCache` answers every handshake after
+        the first without an IAS round trip.  Handshake freshness comes
+        from the TLS proof of key possession instead.
+        """
+        self._verify_quote_with_ias(quote, b"", subject)
+
+    def check_credential_identity(self, quote: Quote, subject: str) -> None:
+        """RA-TLS identity hook: the embedded quote must name the
+        credential-enclave measurement and satisfy SVN/debug policy."""
+        self._check_identity(
+            quote, self.policy.expected_credential_mrenclave,
+            subject, "credential enclave",
+        )
+
+    def ratls_verifier(self):
+        """A :class:`repro.tls.ratls.RatlsVerifier` wired to this VM's
+        IAS path, identity policy, clock, and revocation flow.
+
+        Every verifier created here is remembered so :meth:`revoke_vnf`
+        and :meth:`distrust_host` extend to attested identities that
+        hold no CA-issued certificate.
+        """
+        from repro.tls.ratls import RatlsVerifier
+
+        verifier = RatlsVerifier(
+            verify_evidence=self.verify_ratls_evidence,
+            check_identity=self.check_credential_identity,
+            now=self._now,
+            telemetry=self._telemetry,
+        )
+        with self._lock:
+            self._ratls_verifiers.append(verifier)
+        return verifier
+
     # ------------------------------------------------------------ revocation
 
     def subscribe_crl(self, tls_config) -> None:
@@ -476,18 +524,28 @@ class VerificationManager:
         """
         with self._lock:
             certificate = self._issued.get(vnf_name)
-            if certificate is None:
+            verifiers = list(self._ratls_verifiers)
+            if certificate is None and not any(
+                    v.knows_subject(vnf_name) for v in verifiers):
                 raise RevocationError(
                     f"no credentials issued to {vnf_name!r}"
                 )
-            self.ca.revoke(certificate.serial, int(self._now()), reason)
-            self._publish_crl()
+            if certificate is not None:
+                self.ca.revoke(certificate.serial, int(self._now()), reason)
+                self._publish_crl()
             # A revoked VNF must not keep a memoised "trustworthy"
             # verdict: a retry replaying its old evidence has to face IAS
             # again.
             self.verification_cache.invalidate_subject(vnf_name)
-        self.audit.record(ev.EVENT_CREDENTIAL_REVOKED, vnf_name,
-                          f"serial {certificate.serial} ({reason})")
+        # RA-TLS identities hold no CA serial, so the CRL cannot reach
+        # them: the verifier denylists the subject and evicts its cached
+        # TLS sessions instead.  Outside the VM lock — the verifier's
+        # eviction sweep takes session-cache locks of its own.
+        for verifier in verifiers:
+            verifier.revoke_subject(vnf_name)
+        detail = (f"serial {certificate.serial} ({reason})"
+                  if certificate is not None else f"ratls ({reason})")
+        self.audit.record(ev.EVENT_CREDENTIAL_REVOKED, vnf_name, detail)
 
     def distrust_host(self, host_name: str) -> List[str]:
         """Mark a host untrusted and revoke the credentials enrolled *on
@@ -498,11 +556,17 @@ class VerificationManager:
         """
         with self._lock:
             record = self._hosts.get(host_name)
-            if record is None:
+            # A host serving only RA-TLS identities was never
+            # host-attested, yet its enclaves must still be revocable
+            # (verifier.knows_host takes only the ratls leaf lock).
+            if record is None and not any(
+                    verifier.knows_host(host_name)
+                    for verifier in self._ratls_verifiers):
                 raise RevocationError(
                     f"host {host_name!r} was never attested"
                 )
-            record.revoked = True
+            if record is not None:
+                record.revoked = True
             self.audit.record(ev.EVENT_PLATFORM_REVOKED, host_name)
             revoked = []
             for vnf_name, certificate in list(self._issued.items()):
@@ -521,6 +585,19 @@ class VerificationManager:
             doomed = set(revoked) | {host_name}
             self.verification_cache.invalidate_where(
                 lambda entry: entry.subject in doomed
+            )
+            verifiers = list(self._ratls_verifiers)
+        # RA-TLS identities enrolled on the host: denylist them and evict
+        # their sessions (outside the VM lock — see revoke_vnf), then
+        # flush their memoised IAS verdicts too.
+        ratls_doomed = set()
+        for verifier in verifiers:
+            ratls_doomed.update(verifier.revoke_host(host_name))
+        ratls_doomed -= set(revoked)
+        if ratls_doomed:
+            revoked.extend(sorted(ratls_doomed))
+            self.verification_cache.invalidate_where(
+                lambda entry: entry.subject in ratls_doomed
             )
         return revoked
 

@@ -44,6 +44,7 @@ from repro.sdn.controller import FloodlightController
 from repro.sdn.northbound import (
     MODE_HTTP,
     MODE_HTTPS,
+    MODE_RATLS,
     MODE_TRUSTED,
     NorthboundEndpoint,
     keystore_validator,
@@ -55,7 +56,8 @@ from repro.tls import TlsConfig
 
 CONTROLLER_HOST = "controller"
 IAS_ADDRESS = Address("ias.intel.example", 443)
-MODE_PORTS = {MODE_HTTP: 8080, MODE_HTTPS: 8443, MODE_TRUSTED: 9443}
+MODE_PORTS = {MODE_HTTP: 8080, MODE_HTTPS: 8443, MODE_TRUSTED: 9443,
+              MODE_RATLS: 10443}
 
 #: Where the Verification Manager serves ``/metrics`` and ``/traces``
 #: once telemetry is enabled.
@@ -170,12 +172,13 @@ class Deployment:
         self.controller.topology.attach_host("h1", "00:00:01", 1)
         self.controller.topology.attach_host("h2", "00:00:02", 1)
 
-        server_key = generate_keypair(self.rng)
-        server_cert = self.vm.ca.issue_server_certificate(
+        self.server_key = generate_keypair(self.rng)
+        self.server_cert = self.vm.ca.issue_server_certificate(
             DistinguishedName(CONTROLLER_HOST),
-            server_key.public.to_bytes(),
+            self.server_key.public.to_bytes(),
             now=self.clock.now_seconds(),
         )
+        server_key, server_cert = self.server_key, self.server_cert
         self.keystore = Keystore()
         self.endpoints: Dict[str, NorthboundEndpoint] = {}
         for mode in modes:
@@ -235,6 +238,11 @@ class Deployment:
         # The key manager is opt-in; see build_kms().
         self.kms = None
         self.kms_endpoint = None
+
+        # The RA-TLS attested channel is opt-in; see build_ratls().
+        self.ratls_verifier = None
+        self.ratls_endpoint = None
+        self.ratls_ias_pool = None
 
         # Single-host compatibility aliases (the common configuration).
         self.host = self.hosts[0]
@@ -425,6 +433,95 @@ class Deployment:
             raise VnfSgxError("KMS endpoint is not serving; call build_kms()")
         return KmsClient(self.network, self.kms_endpoint.address, tenant,
                          token, source_host or self.host.name)
+
+    # --------------------------------------------------------------- RA-TLS
+
+    def build_ratls(self, address: Optional[Address] = None,
+                    pooled_ias: bool = True):
+        """Serve the RA-TLS northbound mode (opt-in, idempotent).
+
+        Creates a :class:`~repro.tls.ratls.RatlsVerifier` wired to the
+        Verification Manager's IAS path and policy, attaches it to a
+        dedicated session cache (so revocation can evict attested
+        sessions), and mounts a ``ratls-https`` northbound endpoint whose
+        client validation is the verifier.  Returns the verifier.
+
+        With ``pooled_ias`` (the default) the Verification Manager's IAS
+        client is swapped for a :class:`~repro.core.fleet.PooledIasClient`
+        for the endpoint's lifetime: the verifier is a long-lived
+        controller-side service attesting many handshakes, exactly the
+        amortization the fleet scheduler applies per run (and, per
+        experiment E12, byte-identical to per-verify dialing).
+        """
+        if self.ratls_verifier is not None:
+            return self.ratls_verifier
+        from repro.tls import SessionCache
+
+        verifier = self.vm.ratls_verifier()
+        session_cache = SessionCache()
+        verifier.attach_session_cache(session_cache)
+        if pooled_ias:
+            from repro.core.fleet import PooledIasClient
+
+            pool = PooledIasClient(
+                self.network, IAS_ADDRESS, self.ias_http.ias_truststore,
+                self.ias.report_signing_public_key, rng=self.rng,
+            )
+            if self.retry_policy is not None:
+                pool.configure_retries(self.retry_policy,
+                                       rng=self._retry_rng)
+            if self.telemetry is not None:
+                pool.instrument(self.telemetry)
+            self.vm.swap_ias_client(pool)
+            self.ratls_ias_pool = pool
+        address = address or Address(CONTROLLER_HOST, MODE_PORTS[MODE_RATLS])
+        tls_config = TlsConfig(
+            certificate_chain=[self.server_cert],
+            private_key=self.server_key,
+            client_validator=verifier.validate,
+            resumption_validator=verifier.resumable,
+            session_cache=session_cache,
+            rng=self.rng,
+            now=self.clock.now_seconds,
+        )
+        self.ratls_endpoint = NorthboundEndpoint(
+            self.controller, self.network, address, MODE_RATLS, tls_config
+        )
+        self.endpoints[MODE_RATLS] = self.ratls_endpoint
+        if self.telemetry is not None:
+            self.ratls_endpoint.instrument(self.telemetry)
+        self.ratls_verifier = verifier
+        return verifier
+
+    def enroll_ratls(self, vnf_name: str):
+        """Enroll one VNF over the RA-TLS attested channel; returns the
+        completed :class:`~repro.core.ratls_enrollment.RatlsEnrollmentSession`.
+
+        Credential preparation is host-local (no Verification Manager
+        round trips); the attestation happens inside the first controller
+        handshake, verified by the endpoint's
+        :class:`~repro.tls.ratls.RatlsVerifier`.
+        """
+        from repro.core.ratls_enrollment import RatlsEnrollmentSession
+
+        verifier = self.build_ratls()
+        anchors = tuple(
+            anchor.to_bytes()
+            for anchor in self.vm.controller_truststore().anchors()
+        )
+        session = RatlsEnrollmentSession(
+            enclave=self.credential_enclaves[vnf_name],
+            verifier=verifier,
+            basename=self.policy.basename,
+            anchors=anchors,
+            controller_address=str(self.controller_address(MODE_RATLS)),
+            sim_now=self.clock.now,
+            telemetry=self.telemetry,
+        )
+        with (self.telemetry.span("ratls-enrollment", vnf=vnf_name)
+              if self.telemetry is not None else nullcontext()):
+            session.run(self.enclave_client(vnf_name))
+        return session
 
     # ------------------------------------------------------------ accessors
 

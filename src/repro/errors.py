@@ -65,6 +65,14 @@ class UntrustedCertificate(PkiError):
     """No chain to a trust anchor could be built."""
 
 
+class RatlsError(PkiError):
+    """An RA-TLS (quote-bearing) certificate failed attested validation.
+
+    Subclasses :class:`PkiError` so the TLS server's certificate-validation
+    path converts it into a ``bad_certificate`` alert like any other peer
+    validation failure."""
+
+
 class KeystoreError(PkiError):
     """A keystore/truststore operation failed."""
 

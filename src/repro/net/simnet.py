@@ -76,6 +76,8 @@ class Network:
         self._listeners: Dict[Address, Acceptor] = {}
         self._profiles: Dict[Tuple[str, str], LinkProfile] = {}
         self._connection_count = 0
+        self._message_count = 0
+        self._messages_by_host: Dict[str, int] = {}
         self._faults: Optional["FaultPlan"] = None
         self._lock = threading.RLock()
 
@@ -165,6 +167,11 @@ class Network:
                         # endpoints close, and the send raises.
                         FaultPlan.tear_down(sender)
                 self.clock.advance(profile.transfer_time(len(data)), "network")
+                with self._lock:
+                    self._message_count += 1
+                    self._messages_by_host[destination.host] = (
+                        self._messages_by_host.get(destination.host, 0) + 1
+                    )
                 receiver = sender.peer
                 if receiver is not None:
                     receiver._enqueue(data)
@@ -191,3 +198,26 @@ class Network:
     def connections_opened(self) -> int:
         """Total connections opened since construction."""
         return self._connection_count
+
+    @property
+    def messages_sent(self) -> int:
+        """Total channel sends delivered since construction.
+
+        Each send is one one-way message on the fabric, so the delta
+        across an operation counts its protocol round trips — the metric
+        experiment E14 uses to compare enrollment paths.
+        """
+        with self._lock:
+            return self._message_count
+
+    def messages_to(self, host: str) -> int:
+        """Messages carried on connections dialed to ``host``.
+
+        Both directions of a connection are attributed to the host the
+        dialer connected to, so the delta across an operation splits its
+        round trips by service: experiment E14 separates enrollment
+        machinery (agents, Verification Manager, IAS) from the
+        controller session both enrollment paths establish identically.
+        """
+        with self._lock:
+            return self._messages_by_host.get(host, 0)

@@ -52,6 +52,8 @@ M_EC_OPS = "vnf_sgx_ec_ops"
 M_KMS_REQUESTS = "vnf_sgx_kms_requests_total"
 M_KMS_REQUEST_SECONDS = "vnf_sgx_kms_request_seconds"
 M_KMS_SECRETS = "vnf_sgx_kms_secrets"
+M_RATLS_VALIDATIONS = "vnf_sgx_ratls_validations_total"
+M_RATLS_RESUMPTIONS = "vnf_sgx_ratls_resumption_checks_total"
 
 
 class Telemetry:
@@ -185,6 +187,18 @@ class Telemetry:
             "(synced on scrape and after mutations)",
             labelnames=("shard",),
         )
+        self.ratls_validations = r.counter(
+            M_RATLS_VALIDATIONS,
+            "RA-TLS quote-bearing certificate validations by result "
+            "(accepted / rejected)",
+            labelnames=("result",),
+        )
+        self.ratls_resumption_checks = r.counter(
+            M_RATLS_RESUMPTIONS,
+            "RA-TLS resumption-gate decisions by result "
+            "(allowed / denied — denied forces re-attestation)",
+            labelnames=("result",),
+        )
 
     # -------------------------------------------------------------- spans
 
@@ -273,4 +287,6 @@ __all__ = [
     "M_KMS_REQUESTS",
     "M_KMS_REQUEST_SECONDS",
     "M_KMS_SECRETS",
+    "M_RATLS_VALIDATIONS",
+    "M_RATLS_RESUMPTIONS",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.crypto.keys import EcPublicKey
 from repro.crypto.sha256 import sha256
@@ -40,6 +40,10 @@ class Certificate:
         is_ca: basic-constraints CA flag.
         key_usage: tuple of usage strings (see module constants).
         san: subject alternative names (e.g. container addresses).
+        extensions: named opaque extensions ``(name, value_bytes)`` —
+            e.g. the RA-TLS SGX-quote extension.  Signed as part of the
+            TBS portion; certificates without extensions keep the exact
+            pre-extension wire encoding.
         signature: issuer's ECDSA signature over :meth:`tbs_bytes`.
     """
 
@@ -52,6 +56,7 @@ class Certificate:
     is_ca: bool = False
     key_usage: Tuple[str, ...] = ()
     san: Tuple[str, ...] = ()
+    extensions: Tuple[Tuple[str, bytes], ...] = ()
     signature: bytes = b""
 
     def __post_init__(self) -> None:
@@ -63,7 +68,7 @@ class Certificate:
     # ------------------------------------------------------------ encoding
 
     def _tbs_list(self) -> list:
-        return [
+        tbs = [
             _VERSION,
             self.serial,
             self.subject.to_list(),
@@ -75,6 +80,12 @@ class Certificate:
             list(self.key_usage),
             list(self.san),
         ]
+        if self.extensions:
+            # Appended only when present so extension-free certificates —
+            # everything the CA issues today — keep their historical
+            # byte encoding (fleet byte-identity, experiment E12).
+            tbs.append([[name, value] for name, value in self.extensions])
+        return tbs
 
     def tbs_bytes(self) -> bytes:
         """Canonical encoding of the to-be-signed portion."""
@@ -91,10 +102,19 @@ class Certificate:
         if not (isinstance(decoded, list) and len(decoded) == 2):
             raise EncodingError("malformed certificate envelope")
         tbs, signature = decoded
-        if not (isinstance(tbs, list) and len(tbs) == 10):
+        if not (isinstance(tbs, list) and len(tbs) in (10, 11)):
             raise EncodingError("malformed certificate body")
         (version, serial, subject, issuer, pub, not_before, not_after,
-         is_ca, key_usage, san) = tbs
+         is_ca, key_usage, san) = tbs[:10]
+        extensions: Tuple[Tuple[str, bytes], ...] = ()
+        if len(tbs) == 11:
+            ext_list = tbs[10]
+            if not (isinstance(ext_list, list) and ext_list and all(
+                    isinstance(e, list) and len(e) == 2
+                    and isinstance(e[0], str) and isinstance(e[1], bytes)
+                    for e in ext_list)):
+                raise EncodingError("malformed certificate extensions")
+            extensions = tuple((name, value) for name, value in ext_list)
         if version != _VERSION:
             raise CertificateError(f"unsupported certificate version {version}")
         if not isinstance(signature, bytes):
@@ -109,6 +129,7 @@ class Certificate:
             is_ca=is_ca,
             key_usage=tuple(key_usage),
             san=tuple(san),
+            extensions=extensions,
             signature=signature,
         )
 
@@ -142,6 +163,13 @@ class Certificate:
                 f"certificate {self.subject} valid [{self.not_before}, "
                 f"{self.not_after}], checked at {now}"
             )
+
+    def extension(self, name: str) -> Optional[bytes]:
+        """The value of the named extension, or ``None`` when absent."""
+        for ext_name, value in self.extensions:
+            if ext_name == name:
+                return value
+        return None
 
     def allows_usage(self, usage: str) -> bool:
         """True if ``usage`` is permitted (empty key_usage permits all)."""

@@ -31,6 +31,9 @@ from repro.tls import TlsConfig, TlsServer
 MODE_HTTP = "http"
 MODE_HTTPS = "https"
 MODE_TRUSTED = "trusted-https"
+#: Trusted HTTPS where the client authenticates with a quote-bearing
+#: RA-TLS certificate instead of a CA-issued one (see repro.tls.ratls).
+MODE_RATLS = "ratls-https"
 
 SUMMARY_PATH = "/wm/core/controller/summary/json"
 SWITCHES_PATH = "/wm/core/controller/switches/json"
@@ -81,7 +84,7 @@ class NorthboundEndpoint:
     def __init__(self, controller: FloodlightController, network: Network,
                  address: Address, mode: str,
                  tls_config: Optional[TlsConfig] = None) -> None:
-        if mode not in (MODE_HTTP, MODE_HTTPS, MODE_TRUSTED):
+        if mode not in (MODE_HTTP, MODE_HTTPS, MODE_TRUSTED, MODE_RATLS):
             raise SdnError(f"unknown northbound mode {mode!r}")
         if mode != MODE_HTTP and tls_config is None:
             raise SdnError(f"mode {mode!r} requires a TLS configuration")
@@ -93,7 +96,7 @@ class NorthboundEndpoint:
         self.unauthenticated_writes = 0
         self._telemetry = None  # set by instrument()
         self._tls: Optional[TlsServer] = None
-        if mode == MODE_TRUSTED:
+        if mode in (MODE_TRUSTED, MODE_RATLS):
             tls_config.require_client_auth = True
         if tls_config is not None:
             self._tls = TlsServer(tls_config)

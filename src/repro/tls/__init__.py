@@ -13,12 +13,23 @@ session keys derived via ECDHE and never exposed outside the endpoint that
 derived them — all hold.
 
 Entry points: :class:`repro.tls.client.TlsClient` and
-:class:`repro.tls.server.TlsServer`.
+:class:`repro.tls.server.TlsServer`; :mod:`repro.tls.ratls` adds
+RA-TLS quote-bearing certificates and the attested-channel verifier
+(see ``docs/RATLS.md``).
 """
 
 from repro.tls.client import TlsClient
 from repro.tls.server import TlsServer
 from repro.tls.connection import TlsConnection
+from repro.tls.ratls import RatlsVerifier, build_ratls_certificate
 from repro.tls.session import TlsConfig, SessionCache
 
-__all__ = ["TlsClient", "TlsServer", "TlsConnection", "TlsConfig", "SessionCache"]
+__all__ = [
+    "TlsClient",
+    "TlsServer",
+    "TlsConnection",
+    "TlsConfig",
+    "SessionCache",
+    "RatlsVerifier",
+    "build_ratls_certificate",
+]

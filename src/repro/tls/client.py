@@ -63,13 +63,17 @@ class TlsClient:
     """Opens TLS connections over simulated-network channels.
 
     Args:
-        config: endpoint configuration; ``truststore`` must be set because
-            the client always authenticates the server.
+        config: endpoint configuration; the client always authenticates
+            the server, so either ``truststore`` (chain validation) or
+            ``server_validator`` (e.g. the RA-TLS quote verifier) must
+            be set.
     """
 
     def __init__(self, config: TlsConfig) -> None:
-        if config.truststore is None:
-            raise TlsError("TLS client requires a truststore")
+        if config.truststore is None and config.server_validator is None:
+            raise TlsError(
+                "TLS client requires a truststore or a server_validator"
+            )
         config.validate(server_side=False)
         self._config = config
         self._resumption: Dict[str, TlsSession] = {}
@@ -165,11 +169,14 @@ class TlsClient:
         if not cert_msg.chain:
             raise HandshakeFailure("server sent an empty certificate chain")
         server_cert = cert_msg.chain[0]
-        validate_chain(
-            server_cert, config.truststore, config.now(),
-            intermediates=cert_msg.chain[1:], crl=config.crl,
-            required_usage=KEY_USAGE_SERVER_AUTH,
-        )
+        if config.server_validator is not None:
+            config.server_validator(server_cert)
+        else:
+            validate_chain(
+                server_cert, config.truststore, config.effective_now(),
+                intermediates=cert_msg.chain[1:], crl=config.crl,
+                required_usage=KEY_USAGE_SERVER_AUTH,
+            )
 
         msg_type, ske = inbound.next_handshake()
         if msg_type != HS_SERVER_KEY_EXCHANGE:

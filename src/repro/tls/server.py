@@ -172,7 +172,9 @@ class _ServerHandshake:
         self._suite = negotiate(hello.cipher_suites)
 
         cached = config.session_cache.lookup(hello.session_id)
-        if cached is not None and cached.suite.suite_id == self._suite.suite_id:
+        if (cached is not None
+                and cached.suite.suite_id == self._suite.suite_id
+                and self._resumable(cached)):
             self._start_abbreviated(cached)
             return
 
@@ -211,6 +213,49 @@ class _ServerHandshake:
             CONTENT_HANDSHAKE, bytes(flight)
         ))
         self._state = "wait_flight2"
+
+    def _resumable(self, session: TlsSession) -> bool:
+        """May this cached session skip the full handshake?
+
+        Resumption reuses the authentication decision made when the
+        session was cached, so everything that decision depended on must
+        still hold *now*:
+
+        * client-auth servers refuse sessions cached without a client
+          certificate — otherwise resumption silently bypasses
+          ``require_client_auth``;
+        * the cached peer certificate is rechecked against the CRL and
+          the validity window at the current clock — a certificate
+          revoked or expired after caching must not keep resuming;
+        * the application's ``resumption_validator`` (e.g. the RA-TLS
+          verifier's revocation denylist) gets the final word.
+
+        A ``False`` answer degrades to a full handshake rather than
+        failing the connection: the client re-authenticates from scratch
+        and the normal validation path delivers any refusal.  Stale
+        entries (revoked/expired certificates) are also evicted so they
+        cannot be retried.
+        """
+        config = self._config
+        cert = session.peer_certificate
+        if config.require_client_auth and cert is None:
+            return False
+        if cert is not None:
+            stale = (config.crl is not None
+                     and config.crl.is_revoked(cert.serial))
+            if not stale:
+                try:
+                    cert.check_validity(config.effective_now())
+                except PkiError:
+                    stale = True
+            if stale:
+                config.session_cache.invalidate(session.session_id)
+                return False
+        if (config.resumption_validator is not None
+                and not config.resumption_validator(session)):
+            config.session_cache.invalidate(session.session_id)
+            return False
+        return True
 
     def _start_abbreviated(self, session: TlsSession) -> None:
         self._resumed_session = session
@@ -251,7 +296,7 @@ class _ServerHandshake:
                 config.client_validator(leaf)
             else:
                 validate_chain(
-                    leaf, config.truststore, config.now(),
+                    leaf, config.truststore, config.effective_now(),
                     intermediates=message.chain[1:], crl=config.crl,
                     required_usage=KEY_USAGE_CLIENT_AUTH,
                 )

@@ -38,3 +38,10 @@ def ambient_entropy():
     nonce = os.urandom(16)                # HYG003: os.urandom
     stamp = datetime.now()                # HYG003: datetime.now
     return jitter, nonce, stamp
+
+
+def frozen_clock_tls(chain, key):
+    return TlsConfig(                     # HYG004: no now= time source
+        certificate_chain=chain,
+        private_key=key,
+    )

@@ -12,7 +12,8 @@ def _bad(virtual_path="core/fixture.py"):
 
 class TestSeededViolations:
     def test_every_hyg_rule_fires(self):
-        assert {f.rule_id for f in _bad()} == {"HYG001", "HYG002", "HYG003"}
+        assert {f.rule_id for f in _bad()} == {"HYG001", "HYG002", "HYG003",
+                                               "HYG004"}
 
     def test_bare_except(self):
         hyg001 = [f for f in _bad() if f.rule_id == "HYG001"]
@@ -30,6 +31,11 @@ class TestSeededViolations:
         for source in ("time.time", "time.sleep", "random.random",
                        "os.urandom", "datetime.now"):
             assert source in joined, source
+
+    def test_clockless_tls_config(self):
+        hyg004 = [f for f in _bad() if f.rule_id == "HYG004"]
+        assert [f.symbol for f in hyg004] == ["frozen_clock_tls"]
+        assert "now=" in hyg004[0].message
 
     def test_rng_module_may_seed_from_os(self):
         findings = analyze_fixture("hygiene_bad.py", "crypto/rng.py",

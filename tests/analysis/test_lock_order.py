@@ -46,6 +46,13 @@ class TestEncodedOrder:
         assert LOCK_SITES[("pki/ca.py", None, "_lock")] == "ca"
         assert LOCK_SITES[("core/verification_cache.py", None, "_lock")] == "cache"
 
+    def test_ratls_verifier_lock_is_a_non_reentrant_leaf(self):
+        assert LOCK_SITES[("tls/ratls.py", None, "_lock")] == "ratls"
+        assert "ratls" in LEAF_DOMAINS
+        from repro.analysis.lock_order import NON_REENTRANT_DOMAINS
+
+        assert "ratls" in NON_REENTRANT_DOMAINS
+
 
 class TestSeededViolations:
     def test_backward_edge_fires_lock001(self):
