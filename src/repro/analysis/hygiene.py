@@ -14,6 +14,13 @@ HYG004        ``TlsConfig(...)`` constructed without a ``now=`` time
               clock at 0 once (expired/not-yet-valid certificates and
               CRL windows never fired); every construction site must
               thread the deployment clock
+HYG005        ``ProcessPoolExecutor`` / ``multiprocessing`` outside
+              ``repro.core.kernels`` — process pools fork, and a fork
+              while another thread holds a lock replicates that lock in
+              the held state forever.  All process-level parallelism
+              funnels through :class:`~repro.core.kernels.KernelPool`,
+              which registers fork handlers and ships only pickled
+              bytes (see ``docs/PARALLELISM.md``)
 ============  ==========================================================
 
 The determinism rule exists because the whole repo is a simulation: test
@@ -39,6 +46,9 @@ ENTROPY_MODULES = {"crypto/rng.py"}
 
 MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
 
+#: The one module allowed to spawn worker processes (HYG005).
+KERNEL_POOL_MODULES = {"core/kernels.py"}
+
 
 class HygieneChecker(Checker):
     name = "hygiene"
@@ -48,6 +58,8 @@ class HygieneChecker(Checker):
         "HYG003": "nondeterministic time/entropy source bypasses "
                   "VirtualClock/DRBG",
         "HYG004": "TlsConfig() without a now= time source",
+        "HYG005": "process pool / multiprocessing outside "
+                  "repro.core.kernels",
     }
 
     def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
@@ -75,7 +87,15 @@ class HygieneChecker(Checker):
                         finding("HYG002", default,
                                 f"in signature of {node.name}(); use None "
                                 f"and create inside the body")
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                findings.extend(
+                    _process_pool_findings(self, ctx, line_map, node))
             elif isinstance(node, ast.Attribute):
+                if (node.attr == "ProcessPoolExecutor"
+                        and ctx.relpath not in KERNEL_POOL_MODULES):
+                    finding("HYG005", node,
+                            "route the work through "
+                            "repro.core.kernels.KernelPool")
                 findings.extend(
                     _entropy_findings(self, ctx, line_map, node))
             elif _is_clockless_tls_config(node):
@@ -98,6 +118,37 @@ def _is_clockless_tls_config(node: ast.AST) -> bool:
         return False
     return not any(kw.arg is None or kw.arg == "now"
                    for kw in node.keywords)
+
+
+def _process_pool_findings(
+    checker: HygieneChecker, ctx: ModuleContext,
+    line_map: Dict[int, str], node: ast.AST,
+) -> Iterable[Finding]:
+    """HYG005: only ``repro.core.kernels`` may import process machinery."""
+    if ctx.relpath in KERNEL_POOL_MODULES:
+        return
+
+    def hit(detail: str) -> Finding:
+        return Finding(
+            rule_id="HYG005", severity="error", relpath=ctx.relpath,
+            line=node.lineno, col=node.col_offset,
+            symbol=symbol_at(line_map, node.lineno),
+            message=f"{checker.rules['HYG005']}: {detail} — route the "
+                    f"work through repro.core.kernels.KernelPool",
+        )
+
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name.split(".")[0] == "multiprocessing":
+                yield hit(f"import {alias.name}")
+    elif isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        if module.split(".")[0] == "multiprocessing":
+            yield hit(f"from {module} import ...")
+        else:
+            for alias in node.names:
+                if alias.name == "ProcessPoolExecutor":
+                    yield hit(f"from {module} import ProcessPoolExecutor")
 
 
 def _is_mutable_default(node: ast.AST) -> bool:

@@ -18,6 +18,9 @@ Components, mapping one-to-one onto Figure 1 of the paper:
 - :mod:`repro.core.fleet` — the worker-pool scheduler that enrolls many
   VNFs concurrently (single-flight host attestation, pooled IAS
   connection, deterministic credentials).
+- :mod:`repro.core.kernels` — pure CPU-bound kernels (quote verify,
+  certificate sign, sealing AEAD) and the :class:`KernelPool` process
+  pool that escapes the GIL for them (see ``docs/PARALLELISM.md``).
 - :mod:`repro.core.revocation` — credential/platform revocation.
 - :mod:`repro.core.workflow` — the executable Figure 1 deployment.
 - :mod:`repro.core.events` — the audit log.
@@ -35,6 +38,7 @@ from repro.core.fleet import (
     PooledIasClient,
 )
 from repro.core.host_agent import HostAgent, HostAgentClient
+from repro.core.kernels import KernelPool
 from repro.core.policy import DeploymentPolicy
 from repro.core.provisioning import CredentialBundle
 from repro.core.verification_manager import VerificationManager
@@ -56,6 +60,7 @@ __all__ = [
     "PooledIasClient",
     "HostAgent",
     "HostAgentClient",
+    "KernelPool",
     "DeploymentPolicy",
     "CredentialBundle",
     "VerificationManager",

@@ -1,0 +1,413 @@
+"""Process-pool verification kernels — the GIL escape hatch.
+
+The fleet scheduler (PR 4) overlaps enrollment *I/O* across threads, but
+every quote-verify and cert-sign still serializes on the GIL: the EC math
+runs in pure Python, so eight fleet threads buy eight overlapped waits and
+one core of arithmetic.  This module refactors the CPU-bound hot paths
+into **kernels** — picklable, side-effect-free functions over bytes — and
+a :class:`KernelPool` that dispatches them to a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Design rules (see ``docs/PARALLELISM.md``):
+
+- **Kernels are pure.**  They take bytes/ints/strings, return
+  bytes/ints/strings, and reference no service object, no lock, no clock
+  and no RNG.  Everything order-sensitive (report ids, AVR timestamps,
+  reserved serials, seal key-ids/nonces) is assigned *in-process, in
+  submission order* and passed in, so kernel outputs are byte-identical
+  to the in-process path regardless of worker scheduling.
+- **Workers hold no locks.**  Callers snapshot shared state (the IAS
+  verification snapshot, the CA key bytes) under their own locks, release
+  them, run the kernel, and re-enter the lock only to record the result.
+- **Inline fallback.**  ``workers=0``, a pickling failure, or a broken
+  pool all degrade to calling the kernel in-process — same bytes, no
+  parallelism, never an error the caller has to handle.
+- This module is the *only* sanctioned user of multiprocessing
+  primitives (lint rule HYG005): a stray ``ProcessPoolExecutor``
+  elsewhere would fork with arbitrary locks held and escape the
+  lock-order analysis.
+
+This module sits inside the enclave boundary for secret-flow purposes
+(``repro.analysis.base.ENCLAVE_MODULES``): kernels legitimately handle
+raw key material (the CA signing scalar, the EPID group secret, sealing
+fuse keys) because the worker process *is* the enclave model's compute,
+not an observable channel.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.keys import EcPrivateKey
+from repro.errors import QuoteError, ReproError
+from repro.ias.report import sign_report
+from repro.ias.revocation_lists import PrivRl, SigRl
+from repro.ias.service import QuoteStatus
+from repro.pki import der
+from repro.sgx.enclave import EnclaveIdentity
+from repro.sgx.epid import EpidGroup, pseudonym
+from repro.sgx.quote import Quote
+from repro.sgx.sealing import seal_deterministic
+
+# --------------------------------------------------------------------------
+# Verification-state snapshot
+# --------------------------------------------------------------------------
+#
+# A snapshot is one DER blob carrying everything `verify_quote_kernel`
+# needs to reproduce `IasService._status_for` exactly: the EPID group
+# (id + manager secret), both revocation lists, the group-revocation
+# flag, and the TCB floor.  It is built fresh per dispatch — revocation
+# lists mutate in place (cf. E6's `fill_sigrl`), so a cached snapshot
+# would go stale silently.
+
+
+def encode_verification_snapshot(group_id: bytes, group_secret_bytes: bytes,
+                                 priv_rl_bytes: bytes, sig_rl_bytes: bytes,
+                                 group_revoked: bool,
+                                 min_qe_svn: int) -> bytes:
+    """Serialize one IAS verification state into a kernel-shippable blob."""
+    return der.encode([
+        group_id, group_secret_bytes, priv_rl_bytes, sig_rl_bytes,
+        bool(group_revoked), int(min_qe_svn),
+    ])
+
+
+class _VerificationState:
+    """Decoded snapshot: the worker-side view of one IAS."""
+
+    def __init__(self, snapshot: bytes) -> None:
+        (group_id, group_secret_bytes, priv_rl_bytes, sig_rl_bytes,
+         group_revoked, min_qe_svn) = der.decode(snapshot)
+        self.group = EpidGroup(group_id, group_secret_bytes)
+        self.priv_rl = PrivRl.from_bytes(priv_rl_bytes)
+        self.sig_rl = SigRl.from_bytes(sig_rl_bytes)
+        self.group_revoked = bool(group_revoked)
+        self.min_qe_svn = int(min_qe_svn)
+
+
+def _status_with_scan(state: _VerificationState,
+                      quote: Quote) -> Tuple[str, int]:
+    """`IasService._status_for` over a snapshot, plus the modelled number
+    of revocation-list entries scanned (full-list linear cost)."""
+    if state.group_revoked:
+        return QuoteStatus.GROUP_REVOKED, 0
+    try:
+        signature = quote.signature()
+        state.group.verify(signature, quote.body_bytes())
+    except (QuoteError, ReproError):
+        return QuoteStatus.SIGNATURE_INVALID, 0
+    scanned = len(state.priv_rl)
+    if state.priv_rl.matches(signature,
+                             state.group.derive_member_secret) is not None:
+        return QuoteStatus.KEY_REVOKED, scanned
+    scanned += len(state.sig_rl)
+    if state.sig_rl.matches(signature):
+        return QuoteStatus.SIGNATURE_REVOKED, scanned
+    if quote.qe_svn < state.min_qe_svn:
+        return QuoteStatus.GROUP_OUT_OF_DATE, scanned
+    return QuoteStatus.OK, scanned
+
+
+class _BatchScan:
+    """Amortized revocation-list lookups for one batch.
+
+    The SigRL scan is ``(basename, pseudonym)`` equality, so one set
+    covers every quote in the batch; the PrivRL scan re-derives each
+    revoked key's pseudonym *per basename*, so one table per distinct
+    basename covers the batch (deployments pin one basename, so in
+    practice that is one table).  Batch scan cost is therefore
+    O(|RL| + B) instead of the sequential O(B x |RL|).
+    """
+
+    def __init__(self, state: _VerificationState) -> None:
+        self._state = state
+        self.sig_entries = set(state.sig_rl.entries)
+        self._priv_tables: Dict[bytes, Dict[bytes, bytes]] = {}
+        self.build_scans = len(state.sig_rl)
+
+    def _priv_table(self, basename: bytes) -> Dict[bytes, bytes]:
+        table = self._priv_tables.get(basename)
+        if table is None:
+            table = {}
+            for member_id in self._state.priv_rl.revoked_member_ids:
+                secret = self._state.group.derive_member_secret(member_id)
+                table[pseudonym(secret, basename)] = member_id
+            self._priv_tables[basename] = table
+            self.build_scans += len(self._state.priv_rl)
+        return table
+
+    def status_for(self, quote: Quote) -> Tuple[str, int]:
+        """Verdict-identical to :func:`_status_with_scan`, but each
+        revocation check is one hash probe (cost counted as 1)."""
+        state = self._state
+        if state.group_revoked:
+            return QuoteStatus.GROUP_REVOKED, 0
+        try:
+            signature = quote.signature()
+            state.group.verify(signature, quote.body_bytes())
+        except (QuoteError, ReproError):
+            return QuoteStatus.SIGNATURE_INVALID, 0
+        scanned = 1
+        if signature.pseudonym in self._priv_table(signature.basename):
+            return QuoteStatus.KEY_REVOKED, scanned
+        scanned += 1
+        if (signature.basename, signature.pseudonym) in self.sig_entries:
+            return QuoteStatus.SIGNATURE_REVOKED, scanned
+        if quote.qe_svn < state.min_qe_svn:
+            return QuoteStatus.GROUP_OUT_OF_DATE, scanned
+        return QuoteStatus.OK, scanned
+
+
+# --------------------------------------------------------------------------
+# Kernels
+# --------------------------------------------------------------------------
+
+
+def verify_quote_kernel(quote_bytes: bytes, nonce: str,
+                        sigrl_snapshot: bytes, report_key_bytes: bytes,
+                        report_id: str = "avr-00000000",
+                        timestamp: int = 0) -> Tuple[bytes, str, int]:
+    """Verify one quote against a verification snapshot.
+
+    ``report_id`` and ``timestamp`` are assigned by the caller (the IAS
+    owns the counter and the clock; the kernel owns only the math), so
+    the returned AVR JSON is byte-identical to
+    :meth:`repro.ias.service.IasService.verify_quote`.
+
+    Returns ``(avr_json_bytes, quote_status, rl_entries_scanned)``.
+    """
+    state = _VerificationState(sigrl_snapshot)
+    quote = Quote.from_bytes(quote_bytes)
+    status, scanned = _status_with_scan(state, quote)
+    avr = sign_report(
+        EcPrivateKey.from_bytes(report_key_bytes),
+        report_id=report_id,
+        timestamp=int(timestamp),
+        quote_status=status,
+        quote_body_hex=quote.body_bytes().hex(),
+        nonce=nonce,
+    )
+    return avr.to_json(), status, scanned
+
+
+def verify_quotes_kernel(batch: Sequence[Tuple[bytes, str, str, int]],
+                         sigrl_snapshot: bytes,
+                         report_key_bytes: bytes
+                         ) -> Tuple[Tuple[Tuple[bytes, str], ...], int]:
+    """Verify a batch of quotes with one amortized revocation-list scan.
+
+    ``batch`` rows are ``(quote_bytes, nonce, report_id, timestamp)``.
+    Verdicts and AVR bytes are identical to calling
+    :func:`verify_quote_kernel` per row; only the scan cost changes.
+
+    Returns ``((avr_json_bytes, quote_status), ...)`` plus the total
+    modelled revocation-list entries scanned.
+    """
+    state = _VerificationState(sigrl_snapshot)
+    scan = _BatchScan(state)
+    report_key = EcPrivateKey.from_bytes(report_key_bytes)
+    results: List[Tuple[bytes, str]] = []
+    scanned = 0
+    for quote_bytes, nonce, report_id, timestamp in batch:
+        quote = Quote.from_bytes(quote_bytes)
+        status, probes = scan.status_for(quote)
+        scanned += probes
+        avr = sign_report(
+            report_key,
+            report_id=report_id,
+            timestamp=int(timestamp),
+            quote_status=status,
+            quote_body_hex=quote.body_bytes().hex(),
+            nonce=nonce,
+        )
+        results.append((avr.to_json(), status))
+    return tuple(results), scanned + scan.build_scans
+
+
+def sign_cert_kernel(tbs_bytes: bytes, ca_key_bytes: bytes,
+                     serial: int) -> bytes:
+    """Sign a to-be-signed certificate body with the CA key.
+
+    ``serial`` is the caller's reserved serial for this certificate — it
+    does not enter the signature (RFC 6979 over ``tbs_bytes`` alone),
+    but tying the dispatch to it keeps the pool's unit of work aligned
+    with PR 4's reserved-serial byte-identity contract.
+    """
+    if not isinstance(serial, int) or serial < 0:
+        raise ReproError(f"invalid reserved serial for cert-sign: {serial!r}")
+    return EcPrivateKey.from_bytes(ca_key_bytes).sign(tbs_bytes)
+
+
+def seal_blob_kernel(fuse_key_bytes: bytes, mrenclave: bytes, mrsigner: bytes,
+                     isv_prod_id: int, isv_svn: int, plaintext_bytes: bytes,
+                     policy: str, key_id: bytes, nonce: bytes) -> bytes:
+    """Seal ``plaintext_bytes`` to an enclave identity.
+
+    ``key_id`` and ``nonce`` are pre-drawn by the caller (under the
+    shard lock, preserving per-shard DRBG order), so the returned blob
+    is byte-identical to :func:`repro.sgx.sealing.seal`.
+    """
+    identity = EnclaveIdentity(mrenclave=mrenclave, mrsigner=mrsigner,
+                               isv_prod_id=int(isv_prod_id),
+                               isv_svn=int(isv_svn))
+    blob = seal_deterministic(fuse_key_bytes, identity, plaintext_bytes,
+                              policy, key_id, nonce)
+    return blob.to_bytes()
+
+
+# --------------------------------------------------------------------------
+# KernelPool
+# --------------------------------------------------------------------------
+
+#: Errors meaning "this dispatch cannot cross the process boundary" —
+#: degrade to inline, do not surface to the caller.
+_FALLBACK_ERRORS = (pickle.PicklingError, BrokenProcessPool, TypeError,
+                    AttributeError, OSError)
+
+#: Live pools, reset after fork so a child never blocks on a lock or an
+#: executor it inherited mid-operation from the parent.
+_POOLS: "weakref.WeakSet[KernelPool]" = weakref.WeakSet()
+
+
+def _reset_pools_after_fork() -> None:
+    for pool in list(_POOLS):
+        pool._reset_after_fork()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only; harmless to skip elsewhere
+    os.register_at_fork(after_in_child=_reset_pools_after_fork)
+
+
+class KernelPool:
+    """A lazily-spawned, fork-safe process pool for kernel dispatch.
+
+    - ``workers=0`` (the default) never spawns anything: every ``run``
+      executes the kernel inline, so the pool is safe to thread through
+      code paths unconditionally.
+    - The executor is created on first dispatch and tagged with the
+      owning PID; a forked child discards the inherited executor (its
+      queue-management threads did not survive the fork) and lazily
+      spawns its own, and an ``os.register_at_fork`` hook re-arms the
+      internal lock so a fork taken while another thread held it cannot
+      deadlock the child.
+    - Unpicklable work and broken pools fall back to inline execution;
+      kernels are deterministic, so the caller cannot observe where the
+      bytes were computed — only the wall clock can.
+
+    Lock discipline: ``_lock`` (domain ``kernel_pool``) is a leaf held
+    only for lifecycle and counter updates — never across ``submit`` or
+    ``future.result()``, so workers (and waiters) hold no locks.
+    """
+
+    def __init__(self, workers: int = 0, label: str = "kernels") -> None:
+        self.label = label
+        self.workers = max(0, int(workers))
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._owner_pid = os.getpid()
+        self._broken = False
+        self.dispatched = 0
+        self.inline_calls = 0
+        self.fallbacks = 0
+        _POOLS.add(self)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _executor_for_dispatch(self) -> Optional[ProcessPoolExecutor]:
+        if self.workers <= 0:
+            return None
+        with self._lock:
+            if self._broken:
+                return None
+            pid = os.getpid()
+            if self._executor is not None and pid != self._owner_pid:
+                # Forked child: the inherited executor's plumbing is gone.
+                self._executor = None
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+                self._owner_pid = pid
+            return self._executor
+
+    def _reset_after_fork(self) -> None:
+        # Runs in the child immediately after fork: replace the lock (the
+        # parent copy may be held by a thread that does not exist here)
+        # and drop the inherited executor without touching it.
+        self._lock = threading.Lock()
+        self._executor = None
+        self._owner_pid = os.getpid()
+
+    def _mark_broken(self) -> None:
+        with self._lock:
+            self.fallbacks += 1
+            self._broken = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Tear down worker processes (idempotent; pool reverts to lazy)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------- dispatch
+
+    def run(self, kernel, *args):
+        """Run ``kernel(*args)`` in a worker, or inline on any fallback."""
+        executor = self._executor_for_dispatch()
+        if executor is None:
+            with self._lock:
+                self.inline_calls += 1
+            return kernel(*args)
+        try:
+            # result() releases the GIL while the worker computes — this
+            # wait is where thread-pooled callers gain real parallelism.
+            result = executor.submit(kernel, *args).result()
+        except _FALLBACK_ERRORS:
+            self._mark_broken()
+            return kernel(*args)
+        with self._lock:
+            self.dispatched += 1
+        return result
+
+    # ------------------------------------------- typed convenience wrappers
+    #
+    # Consumers (CA, IAS, KMS shards) receive a duck-typed pool and call
+    # these, so none of them needs a module-level import of this module
+    # (repro.core's __init__ would make that circular).
+
+    def sign_cert(self, tbs_bytes: bytes, ca_key_bytes: bytes,
+                  serial: int) -> bytes:
+        """Dispatch :func:`sign_cert_kernel`."""
+        return self.run(sign_cert_kernel, tbs_bytes, ca_key_bytes, serial)
+
+    def verify_quote(self, quote_bytes: bytes, nonce: str,
+                     sigrl_snapshot: bytes, report_key_bytes: bytes,
+                     report_id: str, timestamp: int) -> Tuple[bytes, str, int]:
+        """Dispatch :func:`verify_quote_kernel`."""
+        return self.run(verify_quote_kernel, quote_bytes, nonce,
+                        sigrl_snapshot, report_key_bytes, report_id,
+                        timestamp)
+
+    def verify_quotes(self, batch: Sequence[Tuple[bytes, str, str, int]],
+                      sigrl_snapshot: bytes, report_key_bytes: bytes
+                      ) -> Tuple[Tuple[Tuple[bytes, str], ...], int]:
+        """Dispatch :func:`verify_quotes_kernel`."""
+        return self.run(verify_quotes_kernel, tuple(batch), sigrl_snapshot,
+                        report_key_bytes)
+
+    def seal_blob(self, fuse_key_bytes: bytes, mrenclave: bytes,
+                  mrsigner: bytes, isv_prod_id: int, isv_svn: int,
+                  plaintext_bytes: bytes, policy: str, key_id: bytes,
+                  nonce: bytes) -> bytes:
+        """Dispatch :func:`seal_blob_kernel`."""
+        return self.run(seal_blob_kernel, fuse_key_bytes, mrenclave,
+                        mrsigner, isv_prod_id, isv_svn, plaintext_bytes,
+                        policy, key_id, nonce)

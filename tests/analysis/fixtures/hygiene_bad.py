@@ -45,3 +45,15 @@ def frozen_clock_tls(chain, key):
         certificate_chain=chain,
         private_key=key,
     )
+
+
+def rogue_process_pool(jobs):
+    from concurrent.futures import ProcessPoolExecutor  # HYG005
+    import multiprocessing                               # HYG005
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(len, jobs))
+
+
+def rogue_executor_attribute(jobs, futures_module):
+    pool = futures_module.ProcessPoolExecutor(2)         # HYG005 (attribute)
+    return list(pool.map(len, jobs))

@@ -13,7 +13,7 @@ def _bad(virtual_path="core/fixture.py"):
 class TestSeededViolations:
     def test_every_hyg_rule_fires(self):
         assert {f.rule_id for f in _bad()} == {"HYG001", "HYG002", "HYG003",
-                                               "HYG004"}
+                                               "HYG004", "HYG005"}
 
     def test_bare_except(self):
         hyg001 = [f for f in _bad() if f.rule_id == "HYG001"]
@@ -36,6 +36,21 @@ class TestSeededViolations:
         hyg004 = [f for f in _bad() if f.rule_id == "HYG004"]
         assert [f.symbol for f in hyg004] == ["frozen_clock_tls"]
         assert "now=" in hyg004[0].message
+
+    def test_process_pool_outside_kernels(self):
+        hyg005 = [f for f in _bad() if f.rule_id == "HYG005"]
+        assert {f.symbol for f in hyg005} == {"rogue_process_pool",
+                                              "rogue_executor_attribute"}
+        joined = "\n".join(f.message for f in hyg005)
+        assert "import multiprocessing" in joined
+        assert "ProcessPoolExecutor" in joined
+        assert "KernelPool" in joined
+
+    def test_kernels_module_may_spawn_processes(self):
+        findings = _bad(virtual_path="core/kernels.py")
+        assert not [f for f in findings if f.rule_id == "HYG005"]
+        # the other seeded violations still fire there
+        assert [f for f in findings if f.rule_id == "HYG001"]
 
     def test_rng_module_may_seed_from_os(self):
         findings = analyze_fixture("hygiene_bad.py", "crypto/rng.py",

@@ -65,6 +65,29 @@ class TestStrict:
             [str(tmp_path / "base"), str(tmp_path / "cur"),
              "--strict", "--threshold", "0.2"]) == 1
 
+    def test_per_experiment_tolerance_overrides_threshold(
+            self, bench_compare, tmp_path):
+        # E12 carries a +50% tolerance (wall-clock heavy): a 1.4x row
+        # passes there even at the default +25% threshold, while the
+        # same row under E1 (no override) fails.
+        assert "E12" in bench_compare.TOLERANCES
+        _write_report(tmp_path / "base", "E12", 1.0)
+        _write_report(tmp_path / "cur", "E12", 1.4)
+        assert bench_compare.main(
+            [str(tmp_path / "base"), str(tmp_path / "cur"),
+             "--strict"]) == 0
+        _write_report(tmp_path / "base", "E1", 1.0)
+        _write_report(tmp_path / "cur", "E1", 1.4)
+        assert bench_compare.main(
+            [str(tmp_path / "base"), str(tmp_path / "cur"),
+             "--strict"]) == 1
+        # Beyond even the per-experiment headroom it still fails.
+        _write_report(tmp_path / "base2", "E12", 1.0)
+        _write_report(tmp_path / "cur2", "E12", 1.6)
+        assert bench_compare.main(
+            [str(tmp_path / "base2"), str(tmp_path / "cur2"),
+             "--strict"]) == 1
+
     def test_malformed_input_exits_2(self, bench_compare, tmp_path):
         base = tmp_path / "base"
         base.mkdir()

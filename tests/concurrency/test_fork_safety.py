@@ -1,0 +1,125 @@
+"""Fork safety of the kernel pool.
+
+A ``fork()`` copies the parent's memory at an arbitrary instant: any lock
+another thread held at that instant is copied *held forever* in the child,
+and a copied ``ProcessPoolExecutor``'s queue-management threads simply do
+not exist there.  :class:`repro.core.kernels.KernelPool` defends with an
+``os.register_at_fork`` hook (fresh lock, dropped executor) plus an
+owner-PID check on dispatch.  These tests fork for real and prove the
+child can still use the pool — which is exactly the hazard lint rule
+HYG005 exists to contain to that one module.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.kernels import KernelPool
+from repro.crypto.keys import generate_keypair
+from repro.crypto.rng import HmacDrbg
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="requires POSIX fork")
+
+CHILD_DEADLINE_SECONDS = 60
+
+
+def _wait_for_child(pid):
+    """Reap ``pid``, killing it if it deadlocks (so CI fails fast
+    instead of hanging)."""
+    deadline = time.perf_counter() + CHILD_DEADLINE_SECONDS
+    while time.perf_counter() < deadline:
+        done, status = os.waitpid(pid, os.WNOHANG)
+        if done == pid:
+            return os.waitstatus_to_exitcode(status)
+        time.sleep(0.05)
+    os.kill(pid, 9)
+    os.waitpid(pid, 0)
+    pytest.fail("forked child deadlocked using the kernel pool")
+
+
+def _child_signs(pool, key, expected):
+    """Fork; the child must produce correct bytes through ``pool``."""
+    pid = os.fork()
+    if pid == 0:  # child
+        status = 1
+        try:
+            if pool.sign_cert(b"tbs", key.to_bytes(), 1) == expected:
+                status = 0
+        finally:
+            try:
+                pool.shutdown()
+            finally:
+                os._exit(status)
+    return _wait_for_child(pid)
+
+
+def test_fork_while_another_thread_holds_the_pool_lock():
+    """Hammer the pool lock from a thread while forking: the child's
+    reset lock must never be inherited in the held state."""
+    pool = KernelPool(workers=1)
+    key = generate_keypair(HmacDrbg(b"fork-stress"))
+    expected = key.sign(b"tbs")
+    pool.sign_cert(b"tbs", key.to_bytes(), 1)  # warm: executor exists
+
+    stop = threading.Event()
+
+    def hammer():
+        while not stop.is_set():
+            with pool._lock:
+                pool.inline_calls += 0
+
+    thread = threading.Thread(target=hammer, daemon=True)
+    thread.start()
+    try:
+        for _ in range(5):
+            assert _child_signs(pool, key, expected) == 0
+    finally:
+        stop.set()
+        thread.join()
+        pool.shutdown()
+    # The parent's pool still works after all those forks.
+    assert pool.sign_cert(b"tbs", key.to_bytes(), 1) == expected
+
+
+def test_fork_while_this_thread_holds_the_pool_lock():
+    """Fork with the lock explicitly held: without the at-fork reset the
+    child would self-deadlock on first dispatch."""
+    pool = KernelPool(workers=1)
+    key = generate_keypair(HmacDrbg(b"fork-held"))
+    expected = key.sign(b"tbs")
+    pool.sign_cert(b"tbs", key.to_bytes(), 1)
+
+    with pool._lock:
+        code = _child_signs(pool, key, expected)
+    assert code == 0
+    pool.shutdown()
+
+
+def test_child_does_not_reuse_parent_executor():
+    """The inherited executor is unusable; the child must discard it
+    (owner-PID check) and still return correct bytes."""
+    pool = KernelPool(workers=1)
+    key = generate_keypair(HmacDrbg(b"fork-executor"))
+    expected = key.sign(b"tbs")
+    pool.sign_cert(b"tbs", key.to_bytes(), 1)
+    parent_pid = os.getpid()
+
+    pid = os.fork()
+    if pid == 0:  # child
+        status = 1
+        try:
+            assert os.getpid() != parent_pid
+            if (pool._executor is None
+                    and pool.sign_cert(b"t", key.to_bytes(), 2)
+                    == key.sign(b"t")):
+                status = 0
+        finally:
+            try:
+                pool.shutdown()
+            finally:
+                os._exit(status)
+    assert _wait_for_child(pid) == 0
+    pool.shutdown()

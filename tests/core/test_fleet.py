@@ -136,6 +136,76 @@ def test_pooled_ias_survives_transient_faults():
     assert report.fully_succeeded, report.failed
 
 
+def test_pooled_ias_surfaces_service_error_not_stale_transport():
+    """Regression: when a brown-out outlasts the retry deadline, the
+    caller must see the underlying ``IasUnavailable`` — not the
+    ``ChannelClosed`` from the stale pooled connection that happened to
+    be the first casualty."""
+    from repro.core import PooledIasClient
+    from repro.core.workflow import IAS_ADDRESS
+    from repro.errors import ChannelClosed, IasUnavailable
+
+    dep = Deployment(seed=b"fleet-stale-surface", vnf_count=1)
+    quote_bytes = dep.attestation_enclave.collect_quoted_evidence(
+        b"\x05" * 16, b"fleet-stale-surface").quote.to_bytes()
+
+    pool = PooledIasClient(
+        dep.network, IAS_ADDRESS, dep.ias_http.ias_truststore,
+        dep.ias.report_signing_public_key, rng=dep.rng,
+    )
+    pool.configure_retries(
+        RetryPolicy(max_attempts=3, base_backoff=0.01, jitter=0.0),
+        rng=dep.rng,
+    )
+    # Warm the pooled connection with a healthy exchange.
+    assert pool.verify_quote(quote_bytes, nonce="warm").ok
+    assert pool.connects == 1
+
+    # The server silently drops the idle connection (it is now stale),
+    # and the service brown-out outlasts the whole retry budget.
+    pool._pooled_conn._channel.peer.close()
+    dep.install_faults(FaultPlan().http_error(IAS_ADDRESS, 503, count=10))
+
+    with pytest.raises(IasUnavailable) as excinfo:
+        pool.verify_quote(quote_bytes, nonce="browned-out")
+    assert not isinstance(excinfo.value, ChannelClosed)
+    # The stale connection was replaced within the first attempt, so the
+    # 503 verdicts (not the transport) drove every retry.
+    assert pool.connects >= 2
+
+    # Once the brown-out clears the same client recovers.
+    dep.install_faults(None)
+    assert pool.verify_quote(quote_bytes, nonce="recovered").ok
+    pool.close()
+
+
+def test_pooled_ias_fresh_connection_fault_still_propagates():
+    """A transport fault on a *fresh* connection is genuine (nothing
+    stale to blame) and must reach the retry layer unchanged."""
+    from repro.core import PooledIasClient
+    from repro.core.workflow import IAS_ADDRESS
+    from repro.errors import ChannelClosed
+
+    dep = Deployment(seed=b"fleet-fresh-fault", vnf_count=1)
+    quote_bytes = dep.attestation_enclave.collect_quoted_evidence(
+        b"\x06" * 16, b"fleet-fresh-fault").quote.to_bytes()
+    # Every connection to IAS drops mid-stream, from the very first send.
+    dep.install_faults(
+        FaultPlan().drop_after_sends(IAS_ADDRESS, sends=1, connections=99))
+
+    pool = PooledIasClient(
+        dep.network, IAS_ADDRESS, dep.ias_http.ias_truststore,
+        dep.ias.report_signing_public_key, rng=dep.rng,
+    )
+    pool.configure_retries(
+        RetryPolicy(max_attempts=2, base_backoff=0.01, jitter=0.0),
+        rng=dep.rng,
+    )
+    with pytest.raises(ChannelClosed):
+        pool.verify_quote(quote_bytes)
+    pool.close()
+
+
 def test_fleet_without_pooling_still_equivalent():
     """pooled_ias=False keeps the per-verification dialling behaviour
     but must not change any issued byte."""
@@ -149,6 +219,28 @@ def test_fleet_without_pooling_still_equivalent():
     certs = {name: dep.vm.issued_certificate(name).to_bytes()
              for name in order}
     assert certs == serial_certs
+
+
+def test_fleet_with_process_kernels_byte_identical():
+    """processes=N moves the verify/sign math to worker processes and
+    batches IAS exchanges — without changing a single issued byte."""
+    seed, count = b"fleet-processes", 4
+    order = [f"vnf-{i}" for i in range(1, count + 1)]
+    _, serial_certs = _serial_reference(seed, count, order)
+
+    dep = Deployment(seed=seed, vnf_count=count)
+    report = dep.enroll_fleet(order, workers=4, processes=2)
+    assert report.fully_succeeded, report.failed
+    assert report.processes == 2
+    assert report.kernel_dispatches + report.kernel_inline_calls > 0
+    certs = {name: dep.vm.issued_certificate(name).to_bytes()
+             for name in order}
+    assert certs == serial_certs
+    # The pool is scoped to the run: everything is detached afterwards.
+    assert dep.ias._kernel_pool is None
+
+    with pytest.raises(VnfSgxError, match="process"):
+        FleetScheduler(dep, processes=-1)
 
 
 def test_fleet_keystore_validation_model():

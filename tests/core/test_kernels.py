@@ -1,0 +1,264 @@
+"""Kernel purity: byte-identity with the in-process paths, picklability,
+and the KernelPool's inline/fallback contract (docs/PARALLELISM.md)."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import (
+    KernelPool,
+    encode_verification_snapshot,
+    seal_blob_kernel,
+    sign_cert_kernel,
+    verify_quote_kernel,
+    verify_quotes_kernel,
+)
+from repro.crypto.keys import generate_keypair
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ReproError
+from repro.ias.service import IasService, QuoteStatus
+from repro.net.clock import VirtualClock
+from repro.sgx.enclave import EnclaveIdentity, EnclaveImage
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.report import Report
+from repro.sgx.sealing import POLICY_MRENCLAVE, seal
+from repro.sgx.sigstruct import sign_image
+
+
+class _Quotable:
+    ECALLS = ("get_report",)
+
+    def __init__(self, api):
+        self._api = api
+
+    def get_report(self, target, report_data):
+        return self._api.create_report(target, report_data).to_bytes()
+
+
+def ias_world(seed=b"kernel-tests"):
+    """An IAS + one registered platform + one verifiable quote."""
+    rng = HmacDrbg(seed)
+    clock = VirtualClock()
+    ias = IasService(rng=rng, now=clock.now_seconds)
+    platform = SgxPlatform("host", clock=clock, rng=rng)
+    ias.register_platform(platform)
+    image = EnclaveImage.from_behavior_class(_Quotable, "quotable")
+    enclave = platform.create_enclave(
+        image, sign_image(generate_keypair(rng), image.code, "v")
+    )
+    qe = platform.quoting_enclave
+    report = Report.from_bytes(
+        enclave.ecall("get_report", qe.target_info(), b"\x01" * 64)
+    )
+    quote = qe.generate(report, b"deployment")
+    return rng, ias, platform, quote
+
+
+def fill_sigrl(ias, rng, count):
+    ias.sig_rl.entries = [
+        (b"deployment", rng.random_bytes(32)) for _ in range(count)
+    ]
+    ias.sig_rl.version = count
+
+
+# --------------------------------------------------------------------------
+# Purity: kernel inputs and outputs survive the pickle boundary
+# --------------------------------------------------------------------------
+
+
+class TestPicklability:
+    def test_kernel_functions_are_picklable(self):
+        for kernel in (verify_quote_kernel, verify_quotes_kernel,
+                       sign_cert_kernel, seal_blob_kernel):
+            assert pickle.loads(pickle.dumps(kernel)) is kernel
+
+    def test_verify_inputs_and_outputs_round_trip(self):
+        _, ias, _, quote = ias_world()
+        args = (quote.to_bytes(), "nonce-1", ias.verification_snapshot(),
+                ias._report_key.to_bytes(), "avr-00000001", 0)
+        assert pickle.loads(pickle.dumps(args)) == args
+        result = verify_quote_kernel(*args)
+        assert pickle.loads(pickle.dumps(result)) == result
+
+    def test_snapshot_is_plain_bytes(self):
+        _, ias, _, _ = ias_world()
+        snapshot = ias.verification_snapshot()
+        assert isinstance(snapshot, bytes)
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+
+# --------------------------------------------------------------------------
+# Byte-identity with the in-process implementations
+# --------------------------------------------------------------------------
+
+
+class TestByteIdentity:
+    def test_verify_quote_kernel_matches_service(self):
+        _, ias, _, quote = ias_world()
+        quote_bytes = quote.to_bytes()
+        snapshot = ias.verification_snapshot()
+        expected = ias.verify_quote(quote_bytes, nonce="n-0")
+        avr_bytes, status, scanned = verify_quote_kernel(
+            quote_bytes, "n-0", snapshot, ias._report_key.to_bytes(),
+            report_id=expected.report_id, timestamp=expected.timestamp,
+        )
+        assert avr_bytes == expected.to_json()
+        assert status == expected.quote_status == QuoteStatus.OK
+        assert scanned == 0  # both RLs empty
+
+    def test_verify_quote_kernel_matches_revoked_verdicts(self):
+        rng, ias, _, quote = ias_world()
+        quote_bytes = quote.to_bytes()
+        ias.revoke_quote_signature(quote)
+        expected = ias.verify_quote(quote_bytes, nonce="n-r")
+        avr_bytes, status, _ = verify_quote_kernel(
+            quote_bytes, "n-r", ias.verification_snapshot(),
+            ias._report_key.to_bytes(),
+            report_id=expected.report_id, timestamp=expected.timestamp,
+        )
+        assert status == QuoteStatus.SIGNATURE_REVOKED
+        assert avr_bytes == expected.to_json()
+
+    def test_batch_kernel_rows_match_single_kernel(self):
+        rng, ias, _, quote = ias_world()
+        fill_sigrl(ias, rng, 64)
+        quote_bytes = quote.to_bytes()
+        snapshot = ias.verification_snapshot()
+        key_bytes = ias._report_key.to_bytes()
+        rows = [(quote_bytes, f"n-{i}", f"avr-{i + 1:08d}", 0)
+                for i in range(4)]
+        batch_results, batch_scanned = verify_quotes_kernel(
+            tuple(rows), snapshot, key_bytes)
+        single_scanned = 0
+        for (avr_bytes, status), row in zip(batch_results, rows):
+            one_bytes, one_status, one_scanned = verify_quote_kernel(
+                row[0], row[1], snapshot, key_bytes,
+                report_id=row[2], timestamp=row[3])
+            assert avr_bytes == one_bytes
+            assert status == one_status
+            single_scanned += one_scanned
+        # Amortization: the batch builds each RL table once instead of
+        # scanning per quote.
+        assert batch_scanned < single_scanned
+
+    def test_sign_cert_kernel_matches_direct_sign(self):
+        key = generate_keypair(HmacDrbg(b"sign-kernel"))
+        tbs = b"to-be-signed certificate body"
+        assert sign_cert_kernel(tbs, key.to_bytes(), 7) == key.sign(tbs)
+
+    def test_sign_cert_kernel_rejects_bad_serial(self):
+        key = generate_keypair(HmacDrbg(b"sign-kernel"))
+        with pytest.raises(ReproError):
+            sign_cert_kernel(b"tbs", key.to_bytes(), -1)
+        with pytest.raises(ReproError):
+            sign_cert_kernel(b"tbs", key.to_bytes(), "1")
+
+    def test_seal_blob_kernel_matches_seal(self):
+        identity = EnclaveIdentity(mrenclave=b"\x11" * 32,
+                                   mrsigner=b"\x22" * 32,
+                                   isv_prod_id=9, isv_svn=3)
+        fuse_key = b"\x33" * 16
+        plaintext = b"tenant secret"
+        rng = HmacDrbg(b"seal-kernel")
+        expected = seal(fuse_key, identity, plaintext, rng=rng)
+        # Same DRBG stream, split draws: caller pre-draws, kernel seals.
+        rng2 = HmacDrbg(b"seal-kernel")
+        key_id = rng2.random_bytes(16)
+        nonce = rng2.random_bytes(12)
+        blob_bytes = seal_blob_kernel(
+            fuse_key, identity.mrenclave, identity.mrsigner,
+            identity.isv_prod_id, identity.isv_svn, plaintext,
+            POLICY_MRENCLAVE, key_id, nonce,
+        )
+        assert blob_bytes == expected.to_bytes()
+
+
+# --------------------------------------------------------------------------
+# Property: the kernel is IasService.verify_quote over any snapshot state
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nonce=st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                  max_size=16),
+    sigrl_size=st.integers(min_value=0, max_value=32),
+    revoke_signature=st.booleans(),
+    revoke_key=st.booleans(),
+    tcb_floor=st.integers(min_value=0, max_value=3),
+)
+def test_verify_quote_kernel_equals_service(nonce, sigrl_size,
+                                            revoke_signature, revoke_key,
+                                            tcb_floor):
+    rng, ias, _, quote = ias_world(b"kernel-prop")
+    fill_sigrl(ias, rng, sigrl_size)
+    if revoke_signature:
+        ias.revoke_quote_signature(quote)
+    if revoke_key:
+        ias.revoke_platform("host")
+    ias.raise_tcb_floor(tcb_floor)
+    quote_bytes = quote.to_bytes()
+    snapshot = ias.verification_snapshot()
+    expected = ias.verify_quote(quote_bytes, nonce=nonce)
+    avr_bytes, status, _ = verify_quote_kernel(
+        quote_bytes, nonce, snapshot, ias._report_key.to_bytes(),
+        report_id=expected.report_id, timestamp=expected.timestamp,
+    )
+    assert avr_bytes == expected.to_json()
+    assert status == expected.quote_status
+
+
+# --------------------------------------------------------------------------
+# KernelPool: inline default, process dispatch, fallback
+# --------------------------------------------------------------------------
+
+
+def _unpicklable_kernel():  # pragma: no cover - never actually runs remotely
+    raise AssertionError("should not execute")
+
+
+class TestKernelPool:
+    def test_workers_zero_runs_inline(self):
+        pool = KernelPool(workers=0)
+        key = generate_keypair(HmacDrbg(b"pool-inline"))
+        assert pool.sign_cert(b"tbs", key.to_bytes(), 1) == key.sign(b"tbs")
+        assert pool.inline_calls == 1
+        assert pool.dispatched == 0
+
+    def test_worker_dispatch_is_byte_identical(self):
+        pool = KernelPool(workers=1)
+        try:
+            key = generate_keypair(HmacDrbg(b"pool-dispatch"))
+            pooled = pool.sign_cert(b"tbs", key.to_bytes(), 1)
+            assert pooled == key.sign(b"tbs")
+            assert pool.dispatched == 1
+        finally:
+            pool.shutdown()
+
+    def test_unpicklable_work_falls_back_inline(self):
+        pool = KernelPool(workers=1)
+        try:
+            key = generate_keypair(HmacDrbg(b"pool-fallback"))
+            # A closure cannot cross the process boundary; the pool must
+            # degrade to inline execution, not raise.
+            result = pool.run(lambda: key.sign(b"tbs"))
+            assert result == key.sign(b"tbs")
+            assert pool.fallbacks == 1
+            # The pool is marked broken: later calls run inline too.
+            assert pool.sign_cert(b"t", key.to_bytes(), 2) == key.sign(b"t")
+            assert pool.inline_calls == 1
+            assert pool.dispatched == 0
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        pool = KernelPool(workers=1)
+        key = generate_keypair(HmacDrbg(b"pool-shutdown"))
+        pool.sign_cert(b"tbs", key.to_bytes(), 1)
+        pool.shutdown()
+        pool.shutdown()
+        # Lazy respawn after shutdown still produces correct bytes.
+        assert pool.sign_cert(b"tbs", key.to_bytes(), 1) == key.sign(b"tbs")
+        pool.shutdown()
