@@ -51,7 +51,7 @@ LEAF_DOMAINS: Set[str] = {
     "clock", "audit", "tracer", "simnet", "agent",
     "ias_pool", "ias_batch", "kernel_pool", "ec_stats",
     "kms_shard", "kms_ns", "keystore_entries",
-    "ratls",
+    "ratls", "fabric", "fabric_log", "fabric_keystore",
 }
 
 #: Fleet-outer locks wrap whole operations *before* the core machinery
@@ -70,6 +70,7 @@ NON_REENTRANT_DOMAINS: Set[str] = {
     "clock", "audit", "ec_stats", "host", "keystore", "cache",
     "kms_shard", "kms_ns", "keystore_entries",
     "ratls", "ias_batch", "kernel_pool",
+    "fabric", "fabric_log", "fabric_keystore",
 }
 
 #: Cross-chain nesting: holding a ``core`` lock while updating a metric
@@ -110,6 +111,9 @@ LOCK_SITES: Dict[Tuple[str, Optional[str], str], str] = {
     ("kms/service.py", None, "_trails_lock"): "kms_ns",
     ("pki/keystore.py", None, "_lock"): "keystore_entries",
     ("tls/ratls.py", None, "_lock"): "ratls",
+    ("sdn/replication.py", "ReplicationLog", "_lock"): "fabric_log",
+    ("sdn/replication.py", "FabricKeystore", "_lock"): "fabric_keystore",
+    ("sdn/fabric.py", None, "_lock"): "fabric",
 }
 
 #: Attribute-name hints used to resolve *calls made while holding a lock*

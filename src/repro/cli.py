@@ -7,6 +7,7 @@ Examples::
     python -m repro enroll --vnfs 3 --csr
     python -m repro fleet --vnfs 16 --workers 8
     python -m repro ratls --vnfs 4 --hosts 2
+    python -m repro sdn --replicas 3 --endpoints 64
     python -m repro kms --tenants 4 --shards 4
     python -m repro metrics --vnfs 2
     python -m repro lint --strict
@@ -43,6 +44,8 @@ EXPERIMENTS = [
      "benchmarks/test_e13_kms.py"),
     ("E14", "RA-TLS attested channels vs. out-of-band enrolment",
      "benchmarks/test_e14_ratls.py"),
+    ("E15", "trusted fabric: failover convergence and revocation fan-out",
+     "benchmarks/test_e15_fabric.py"),
 ]
 
 
@@ -107,6 +110,17 @@ def _build_parser() -> argparse.ArgumentParser:
     ratls.add_argument("--reconnects", type=int, default=5,
                        help="attested-resumption reconnects per VNF "
                             "(default 5)")
+
+    sdn = sub.add_parser(
+        "sdn",
+        help="build the replicated trusted fabric, crash the leader, and "
+             "report failover convergence + revocation fan-out")
+    _common_flags(sdn)
+    sdn.add_argument("--replicas", type=int, default=3,
+                     help="controller replicas (default 3)")
+    sdn.add_argument("--endpoints", type=int, default=64,
+                     help="endpoint switches homed across the fabric "
+                          "(default 64)")
 
     kms = sub.add_parser(
         "kms",
@@ -306,6 +320,44 @@ def _cmd_ratls(args, out) -> int:
     return 0
 
 
+def _cmd_sdn(args, out) -> int:
+    deployment = _build_deployment(args)
+    fabric = deployment.build_fabric(replica_count=args.replicas,
+                                     endpoint_count=args.endpoints)
+    for vnf_name in deployment.vnf_names:
+        deployment.enroll_fabric(vnf_name)
+    out.write(
+        f"fabric: {fabric.replica_count} replica(s), "
+        f"{fabric.switch_count()} switch(es), leader rank "
+        f"{fabric.leader_rank}, {len(deployment.vnf_names)} credential(s) "
+        "replicated\n"
+    )
+
+    victim = deployment.vnf_names[0]
+    report = fabric.revoke_vnf(victim, "cli-demo")
+    out.write(
+        f"revoked {victim}: fan-out to {report.switches_reached} switch(es) "
+        f"in sim={report.total_seconds * 1000:.3f} ms "
+        f"(replication {report.replication_seconds * 1000:.3f} ms)\n"
+    )
+
+    crashed = fabric.leader_rank
+    fabric.crash_replica(crashed)
+    convergence = fabric.converge()
+    out.write(
+        f"crashed rank {crashed}: converged in "
+        f"sim={convergence.seconds * 1000:.3f} ms — new leader rank "
+        f"{convergence.new_leader}, {convergence.switches_rehomed} "
+        "switch(es) re-homed\n"
+    )
+    digests = set(fabric.keystore_digests().values())
+    out.write(
+        f"live replicas {convergence.live_ranks} hold "
+        f"{'IDENTICAL' if len(digests) == 1 else 'DIVERGENT'} keystores\n"
+    )
+    return 0 if len(digests) == 1 else 1
+
+
 def _cmd_kms(args, out) -> int:
     deployment = _build_deployment(args)
     deployment.run_workflow()  # enrol VNFs: tenant tokens need credentials
@@ -392,6 +444,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "enroll": _cmd_enroll,
         "fleet": _cmd_fleet,
         "ratls": _cmd_ratls,
+        "sdn": _cmd_sdn,
         "kms": _cmd_kms,
         "metrics": _cmd_metrics,
         "lint": _cmd_lint,

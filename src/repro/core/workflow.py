@@ -244,6 +244,9 @@ class Deployment:
         self.ratls_endpoint = None
         self.ratls_ias_pool = None
 
+        # The trusted controller fabric is opt-in; see build_fabric().
+        self.fabric = None
+
         # Single-host compatibility aliases (the common configuration).
         self.host = self.hosts[0]
         self.attestation_enclave = self.attestation_enclaves[self.host.name]
@@ -348,6 +351,8 @@ class Deployment:
             self.kms_endpoint.instrument(telemetry)
         elif self.kms is not None:
             self.kms.instrument(telemetry)
+        if self.fabric is not None:
+            self.fabric.instrument(telemetry)
         if serve:
             self.telemetry_endpoint = TelemetryEndpoint(
                 telemetry, self.network, address
@@ -375,6 +380,8 @@ class Deployment:
             self.kms_endpoint.instrument(None)
         elif self.kms is not None:
             self.kms.instrument(None)
+        if self.fabric is not None:
+            self.fabric.instrument(None)
         if self.telemetry_endpoint is not None:
             self.telemetry_endpoint.close()
             self.telemetry_endpoint = None
@@ -525,6 +532,53 @@ class Deployment:
         with (self.telemetry.span("ratls-enrollment", vnf=vnf_name)
               if self.telemetry is not None else nullcontext()):
             session.run(self.enclave_client(vnf_name))
+        return session
+
+    # ----------------------------------------------------- trusted fabric
+
+    def build_fabric(self, replica_count: int = 3,
+                     endpoint_count: int = 0):
+        """Grow the single controller into a trusted fabric (opt-in,
+        idempotent): ``replica_count`` controller replicas sharing this
+        deployment's topology, with the existing controller wrapped as
+        rank 0 and every CA trust anchor replicated to every replica's
+        keystore.  Returns the :class:`~repro.sdn.fabric.TrustedFabric`.
+
+        The fabric draws no randomness and consumes no CA serials, so
+        building one leaves every credential the deployment issues
+        byte-identical to the single-controller path (gated in E15).
+        """
+        if self.fabric is not None:
+            return self.fabric
+        from repro.sdn.fabric import TrustedFabric
+
+        fabric = TrustedFabric(
+            self.network, replica_count=replica_count,
+            topology=self.controller.topology,
+            primary_controller=self.controller,
+            vm=self.vm,
+        )
+        if self.telemetry is not None:
+            fabric.instrument(self.telemetry)
+        for anchor in self.vm.controller_truststore().anchors():
+            fabric.anchor_ca(anchor.subject.common_name, anchor.to_bytes())
+        if endpoint_count:
+            fabric.add_endpoints(endpoint_count)
+        self.fabric = fabric
+        return fabric
+
+    def enroll_fabric(self, vnf_name: str) -> EnrollmentSession:
+        """Enroll one VNF through the fabric: the standard steps 1-6,
+        then fabric-wide replication of the issued credential (keyed by
+        the VNF's container host, so :meth:`~repro.sdn.fabric.
+        TrustedFabric.distrust_host` can revoke it)."""
+        fabric = self.build_fabric()
+        session = self.enroll(vnf_name)
+        fabric.submit_credential(
+            vnf_name,
+            self.vm.issued_certificate(vnf_name).to_bytes(),
+            host=self.vnf_host[vnf_name].name,
+        )
         return session
 
     # ------------------------------------------------------------ accessors

@@ -232,6 +232,14 @@ class TopologyError(SdnError):
     """Switch/link registration problem."""
 
 
+class FabricError(SdnError):
+    """Trusted-fabric failure (replication, failover, fan-out)."""
+
+
+class ReplicationError(FabricError):
+    """The replicated keystore log rejected an entry (gap, divergence)."""
+
+
 # ---------------------------------------------------------------- core
 
 class VnfSgxError(ReproError):

@@ -19,6 +19,9 @@ Fault vocabulary:
 - :meth:`FaultPlan.refuse_connections` — SYN-to-nowhere: ``connect`` to
   the address raises :class:`~repro.errors.ConnectionRefused` for the
   next N attempts and/or for a simulated-time window.
+- :meth:`FaultPlan.crash_host` / :meth:`FaultPlan.partition` —
+  host-level failure modes for controller failover: a crashed host
+  refuses every port, a partitioned pair refuses only each other.
 - :meth:`FaultPlan.delay_connect` / :meth:`FaultPlan.delay_send` —
   latency spikes charged on top of the link profile.
 - :meth:`FaultPlan.drop_after_sends` — mid-stream channel drop: the
@@ -47,6 +50,7 @@ from repro.net.clock import VirtualClock
 FAULT_ACCOUNT = "fault-injection"
 
 KIND_REFUSAL = "connection-refused"
+KIND_PARTITION = "partition"
 KIND_CONNECT_DELAY = "connect-delay"
 KIND_SEND_DELAY = "send-delay"
 KIND_DROP = "connection-drop"
@@ -122,6 +126,8 @@ class FaultPlan:
     def __init__(self, seed: bytes = b"fault-plan") -> None:
         self._rng = HmacDrbg(seed, personalization=b"repro.net.faults")
         self._refusals: Dict[Address, List[_Schedule]] = {}
+        self._host_refusals: Dict[str, List[_Schedule]] = {}
+        self._partitions: Dict[Tuple[str, str], List[_Schedule]] = {}
         self._connect_delays: Dict[Address, List[Tuple[float, _Schedule]]] = {}
         self._send_delays: Dict[Address, List[Tuple[float, _Schedule]]] = {}
         self._drops: Dict[Address, List[Tuple[int, _Schedule]]] = {}
@@ -144,6 +150,48 @@ class FaultPlan:
         self._refusals.setdefault(address, []).append(
             _Schedule(count, for_seconds)
         )
+        return self
+
+    def crash_host(self, host: str, count: Optional[int] = None,
+                   for_seconds: Optional[float] = None) -> "FaultPlan":
+        """Crash an entire host: every connect to *any* port on ``host``
+        is refused for the next ``count`` attempts and/or ``for_seconds``
+        of simulated time (with neither bound, until :meth:`revive_host`
+        or :meth:`clear`).
+
+        This is the controller-failover primitive: a crashed controller
+        replica refuses its replication, northbound and OpenFlow ports
+        alike, so peers observe exactly what a dead process produces —
+        :class:`~repro.errors.ConnectionRefused` on dial.
+        """
+        self._host_refusals.setdefault(host, []).append(
+            _Schedule(count, for_seconds)
+        )
+        return self
+
+    def revive_host(self, host: str) -> "FaultPlan":
+        """Cancel :meth:`crash_host` schedules for ``host`` (the replica
+        rejoins; fabric-level re-sync is the caller's business)."""
+        self._host_refusals.pop(host, None)
+        return self
+
+    def partition(self, host_a: str, host_b: str,
+                  count: Optional[int] = None,
+                  for_seconds: Optional[float] = None) -> "FaultPlan":
+        """Partition two hosts: connects *between* them (either
+        direction) are refused while the schedule is active.  Both hosts
+        stay reachable from everyone else — the asymmetric failure mode
+        that distinguishes a network partition from a crash."""
+        key = (host_a, host_b) if host_a <= host_b else (host_b, host_a)
+        self._partitions.setdefault(key, []).append(
+            _Schedule(count, for_seconds)
+        )
+        return self
+
+    def heal_partition(self, host_a: str, host_b: str) -> "FaultPlan":
+        """Cancel :meth:`partition` schedules between two hosts."""
+        key = (host_a, host_b) if host_a <= host_b else (host_b, host_a)
+        self._partitions.pop(key, None)
         return self
 
     def delay_connect(self, address: Address, seconds: float,
@@ -211,7 +259,12 @@ class FaultPlan:
         return self
 
     def clear(self, address: Optional[Address] = None) -> None:
-        """Drop every installed fault (or only those for ``address``)."""
+        """Drop every installed fault (or only those for ``address``).
+
+        Host-level faults (:meth:`crash_host`, :meth:`partition`) are
+        cleared only by the no-argument form — or individually via
+        :meth:`revive_host` / :meth:`heal_partition`.
+        """
         tables = (self._refusals, self._connect_delays, self._send_delays,
                   self._drops, self._drop_probabilities, self._http_errors)
         for table in tables:
@@ -219,6 +272,9 @@ class FaultPlan:
                 table.clear()
             else:
                 table.pop(address, None)
+        if address is None:
+            self._host_refusals.clear()
+            self._partitions.clear()
 
     # ------------------------------------------------------------------ hooks
     # Called by Network / HTTP services; not by user code.
@@ -227,14 +283,34 @@ class FaultPlan:
         self.injected[kind] = self.injected.get(kind, 0) + 1
 
     def on_connect(self, destination: Address,
-                   clock: VirtualClock) -> "_ConnectionFaults":
+                   clock: VirtualClock,
+                   source_host: Optional[str] = None) -> "_ConnectionFaults":
         """Consulted by :meth:`Network.connect` before the rendezvous.
 
         Raises :class:`~repro.errors.ConnectionRefused` for scheduled
-        refusals, charges scheduled connect delays, and returns the
-        per-connection fault state (mid-stream drop budget).
+        refusals (port-, host- or partition-level), charges scheduled
+        connect delays, and returns the per-connection fault state
+        (mid-stream drop budget).  ``source_host`` is required only for
+        partition matching; callers that omit it skip partition checks.
         """
         now = clock.now()
+        for schedule in self._host_refusals.get(destination.host, []):
+            if schedule.fires(now):
+                self._record(KIND_REFUSAL)
+                raise ConnectionRefused(
+                    f"injected fault: host {destination.host} is down"
+                )
+        if source_host is not None:
+            pair = ((source_host, destination.host)
+                    if source_host <= destination.host
+                    else (destination.host, source_host))
+            for schedule in self._partitions.get(pair, []):
+                if schedule.fires(now):
+                    self._record(KIND_PARTITION)
+                    raise ConnectionRefused(
+                        f"injected fault: {source_host} and "
+                        f"{destination.host} are partitioned"
+                    )
         for schedule in self._refusals.get(destination, []):
             if schedule.fires(now):
                 self._record(KIND_REFUSAL)
@@ -319,6 +395,7 @@ __all__ = [
     "KIND_CONNECT_DELAY",
     "KIND_DROP",
     "KIND_HTTP_ERROR",
+    "KIND_PARTITION",
     "KIND_REFUSAL",
     "KIND_SEND_DELAY",
 ]

@@ -146,7 +146,8 @@ class Network:
         if self._faults is not None:
             # May raise ConnectionRefused (injected) or charge extra
             # connect latency; returns this connection's fault budget.
-            fault_state = self._faults.on_connect(destination, self.clock)
+            fault_state = self._faults.on_connect(destination, self.clock,
+                                                  source_host)
         with self._lock:
             self._connection_count += 1
             conn_id = self._connection_count

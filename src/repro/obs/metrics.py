@@ -54,6 +54,10 @@ M_KMS_REQUEST_SECONDS = "vnf_sgx_kms_request_seconds"
 M_KMS_SECRETS = "vnf_sgx_kms_secrets"
 M_RATLS_VALIDATIONS = "vnf_sgx_ratls_validations_total"
 M_RATLS_RESUMPTIONS = "vnf_sgx_ratls_resumption_checks_total"
+M_FABRIC_REPLICATIONS = "vnf_sgx_fabric_replication_entries_total"
+M_FABRIC_FANOUT_SECONDS = "vnf_sgx_fabric_fanout_seconds"
+M_FABRIC_CONVERGENCE_SECONDS = "vnf_sgx_fabric_convergence_seconds"
+M_FABRIC_REHOMES = "vnf_sgx_fabric_switch_rehomes_total"
 
 
 class Telemetry:
@@ -199,6 +203,28 @@ class Telemetry:
             "(allowed / denied — denied forces re-attestation)",
             labelnames=("result",),
         )
+        self.fabric_replications = r.counter(
+            M_FABRIC_REPLICATIONS,
+            "Operations replicated through the trusted-fabric keystore "
+            "log, by entry kind",
+            labelnames=("kind",),
+        )
+        self.fabric_fanout_seconds = r.histogram(
+            M_FABRIC_FANOUT_SECONDS,
+            "Simulated end-to-end revocation fan-out time (replication "
+            "to every live replica + push to every homed switch)",
+            labelnames=("kind",),
+        )
+        self.fabric_convergence_seconds = r.histogram(
+            M_FABRIC_CONVERGENCE_SECONDS,
+            "Simulated time for one fabric convergence pass (probe, "
+            "re-sync, re-elect, re-home)",
+        )
+        self.fabric_rehomes = r.counter(
+            M_FABRIC_REHOMES,
+            "Switches re-homed onto a surviving controller replica "
+            "during convergence",
+        )
 
     # -------------------------------------------------------------- spans
 
@@ -289,4 +315,8 @@ __all__ = [
     "M_KMS_SECRETS",
     "M_RATLS_VALIDATIONS",
     "M_RATLS_RESUMPTIONS",
+    "M_FABRIC_REPLICATIONS",
+    "M_FABRIC_FANOUT_SECONDS",
+    "M_FABRIC_CONVERGENCE_SECONDS",
+    "M_FABRIC_REHOMES",
 ]

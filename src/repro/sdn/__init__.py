@@ -13,6 +13,21 @@ from repro.sdn.switch import Switch
 from repro.sdn.topology import Topology
 from repro.sdn.controller import FloodlightController
 from repro.sdn.northbound import NorthboundEndpoint, MODE_HTTP, MODE_HTTPS, MODE_TRUSTED
+from repro.sdn.replication import (
+    FabricKeystore,
+    LogEntry,
+    ReplicationLog,
+    K_ANCHOR,
+    K_CREDENTIAL,
+    K_DISTRUST,
+    K_REVOKE,
+)
+from repro.sdn.fabric import (
+    ControllerReplica,
+    ConvergenceReport,
+    FanoutReport,
+    TrustedFabric,
+)
 from repro.sdn.vnf import VnfRestClient
 
 __all__ = [
@@ -28,5 +43,16 @@ __all__ = [
     "MODE_HTTP",
     "MODE_HTTPS",
     "MODE_TRUSTED",
+    "ControllerReplica",
+    "ConvergenceReport",
+    "FabricKeystore",
+    "FanoutReport",
+    "LogEntry",
+    "ReplicationLog",
+    "TrustedFabric",
+    "K_ANCHOR",
+    "K_CREDENTIAL",
+    "K_DISTRUST",
+    "K_REVOKE",
     "VnfRestClient",
 ]

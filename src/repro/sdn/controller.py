@@ -21,12 +21,16 @@ CONTROLLER_VERSION = "1.2-model"
 class FloodlightController:
     """The controller core the northbound API fronts."""
 
-    def __init__(self, name: str = "floodlight") -> None:
+    def __init__(self, name: str = "floodlight",
+                 topology: Optional[Topology] = None) -> None:
         self.name = name
         self.version = CONTROLLER_VERSION
-        self.topology = Topology()
+        self.topology = topology if topology is not None else Topology()
         self.packet_ins_handled = 0
         self.flows_pushed = 0
+        # Set by the trusted fabric when this controller joins one; the
+        # northbound's /wm/fabric/status/json endpoint calls it.
+        self.fabric_status = None
         self._static_flow_index: Dict[str, str] = {}  # rule name -> dpid
 
     # ----------------------------------------------------------- forwarding
@@ -34,6 +38,12 @@ class FloodlightController:
     def register_switch(self, switch: Switch) -> None:
         """Add a switch and take over its packet-in handling."""
         self.topology.add_switch(switch)
+        switch.set_packet_in_handler(self._on_packet_in)
+
+    def adopt_switch(self, switch: Switch) -> None:
+        """Take over packet-in handling for a switch that is already in
+        the (shared) topology — the fabric failover path: the topology
+        survives a controller crash, only the homing changes."""
         switch.set_packet_in_handler(self._on_packet_in)
 
     def _on_packet_in(self, switch: Switch, in_port: int,

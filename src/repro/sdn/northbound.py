@@ -41,6 +41,7 @@ LINKS_PATH = "/wm/topology/links/json"
 DEVICES_PATH = "/wm/device/"
 FLOW_PUSHER_PATH = "/wm/staticflowpusher/json"
 FLOW_LIST_PATH = "/wm/staticflowpusher/list/all/json"
+FABRIC_STATUS_PATH = "/wm/fabric/status/json"
 
 
 @dataclass(frozen=True)
@@ -167,6 +168,7 @@ class NorthboundEndpoint:
             ("GET", LINKS_PATH): self._get_links,
             ("GET", DEVICES_PATH): self._get_devices,
             ("GET", FLOW_LIST_PATH): self._get_flows,
+            ("GET", FABRIC_STATUS_PATH): self._get_fabric_status,
             ("POST", FLOW_PUSHER_PATH): self._post_flow,
             ("DELETE", FLOW_PUSHER_PATH): self._delete_flow,
         }
@@ -250,6 +252,13 @@ class NorthboundEndpoint:
                             "port": topology.attachment_point(host)[1]}}
             for host in topology.hosts()
         ])
+
+    def _get_fabric_status(self, request: HttpRequest,
+                           auth: AuthContext) -> HttpResponse:
+        if self.controller.fabric_status is None:
+            return HttpResponse(404,
+                                body=b"controller is not part of a fabric")
+        return self._json(self.controller.fabric_status())
 
     def _get_flows(self, request: HttpRequest,
                    auth: AuthContext) -> HttpResponse:

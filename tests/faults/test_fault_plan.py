@@ -8,6 +8,7 @@ from repro.net.faults import (
     FAULT_ACCOUNT,
     KIND_DROP,
     KIND_HTTP_ERROR,
+    KIND_PARTITION,
     KIND_REFUSAL,
     FaultPlan,
 )
@@ -138,6 +139,66 @@ def test_clear_removes_faults(network):
     assert network.connect("client", SERVER) is not None
     network.install_faults(None)  # uninstall entirely
     assert network.faults is None
+
+
+def test_crash_host_refuses_every_port(network):
+    echo_listener(network)
+    other_port = Address(SERVER.host, SERVER.port + 1)
+    network.listen(other_port, lambda ch: None)
+    plan = FaultPlan().crash_host(SERVER.host)
+    network.install_faults(plan)
+    with pytest.raises(ConnectionRefused, match="host server is down"):
+        network.connect("client", SERVER)
+    with pytest.raises(ConnectionRefused):
+        network.connect("client", other_port)
+    assert plan.injected[KIND_REFUSAL] == 2
+    # Revival restores every port at once.
+    plan.revive_host(SERVER.host)
+    channel = network.connect("client", SERVER)
+    send_frame(channel, b"up")
+    assert try_recv_frame(channel) == b"echo:up"
+
+
+def test_crash_host_time_window_expires(network):
+    echo_listener(network)
+    plan = FaultPlan().crash_host(SERVER.host, for_seconds=3.0)
+    network.install_faults(plan)
+    with pytest.raises(ConnectionRefused):
+        network.connect("client", SERVER)
+    network.clock.advance(4.0, "test")
+    assert network.connect("client", SERVER) is not None
+
+
+def test_partition_is_pairwise_and_symmetric(network):
+    echo_listener(network)
+    plan = FaultPlan().partition("client-a", SERVER.host)
+    network.install_faults(plan)
+    with pytest.raises(ConnectionRefused, match="partitioned"):
+        network.connect("client-a", SERVER)
+    # Order-insensitive: the reverse direction is the same pair.
+    with pytest.raises(ConnectionRefused):
+        network.connect("client-a", SERVER)
+    assert plan.injected[KIND_PARTITION] == 2
+    # A third host is unaffected — the asymmetry that distinguishes a
+    # partition from a crash.
+    channel = network.connect("client-b", SERVER)
+    send_frame(channel, b"ok")
+    assert try_recv_frame(channel) == b"echo:ok"
+    plan.heal_partition(SERVER.host, "client-a")
+    assert network.connect("client-a", SERVER) is not None
+
+
+def test_address_clear_keeps_host_faults(network):
+    echo_listener(network)
+    plan = (FaultPlan()
+            .refuse_connections(SERVER)
+            .crash_host(SERVER.host))
+    network.install_faults(plan)
+    plan.clear(SERVER)  # clears the port-level refusal only
+    with pytest.raises(ConnectionRefused, match="host server is down"):
+        network.connect("client", SERVER)
+    plan.clear()  # the no-argument form clears host faults too
+    assert network.connect("client", SERVER) is not None
 
 
 def test_invalid_installations_rejected():

@@ -1,0 +1,117 @@
+"""Unit tests for the replicated keystore log (repro.sdn.replication)."""
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.sdn.replication import (
+    K_ANCHOR,
+    K_CREDENTIAL,
+    K_DISTRUST,
+    K_REVOKE,
+    FabricKeystore,
+    LogEntry,
+    ReplicationLog,
+    credential_payload,
+    split_credential_payload,
+)
+
+
+def test_log_appends_contiguous_indexes():
+    log = ReplicationLog()
+    first = log.append(K_ANCHOR, "root", b"cert")
+    second = log.append(K_REVOKE, "vnf-1")
+    assert (first.index, second.index) == (1, 2)
+    assert log.last_index == 2
+    assert log.entry(1) == first
+    assert log.entries_after(1) == [second]
+
+
+def test_log_extend_is_idempotent_but_rejects_divergence():
+    leader = ReplicationLog()
+    entries = [leader.append(K_ANCHOR, "root", b"cert"),
+               leader.append(K_REVOKE, "vnf-1")]
+    follower = ReplicationLog()
+    assert follower.extend(entries) == 2
+    # Redelivering the identical suffix is a no-op.
+    assert follower.extend(entries) == 2
+    # A different entry at an occupied index is divergence, not replay.
+    with pytest.raises(ReplicationError, match="divergence"):
+        follower.extend([LogEntry(2, K_REVOKE, "vnf-OTHER")])
+
+
+def test_log_extend_rejects_gaps():
+    follower = ReplicationLog()
+    with pytest.raises(ReplicationError, match="gap"):
+        follower.extend([LogEntry(2, K_REVOKE, "vnf-1")])
+
+
+def test_wire_round_trip_and_malformed_entries():
+    entry = LogEntry(3, K_CREDENTIAL, "vnf-1",
+                     credential_payload("host-1", b"der"))
+    assert LogEntry.from_wire(entry.to_wire()) == entry
+    with pytest.raises(ReplicationError, match="malformed"):
+        LogEntry.from_wire({"kind": K_REVOKE})
+
+
+def test_credential_payload_round_trip():
+    payload = credential_payload("nfv-host-1", b"\x00\x01cert")
+    assert split_credential_payload(payload) == ("nfv-host-1", b"\x00\x01cert")
+    with pytest.raises(ReplicationError):
+        credential_payload("bad\x00host", b"x")
+    with pytest.raises(ReplicationError):
+        split_credential_payload(b"no-separator")
+
+
+def _apply(keystore, index, kind, subject, payload=b""):
+    return keystore.apply(LogEntry(index, kind, subject, payload))
+
+
+def test_keystore_applies_in_order_and_reports_newly_revoked():
+    ks = FabricKeystore()
+    assert _apply(ks, 1, K_ANCHOR, "root", b"anchor") == []
+    assert _apply(ks, 2, K_CREDENTIAL, "vnf-1",
+                  credential_payload("h1", b"c1")) == []
+    assert _apply(ks, 3, K_REVOKE, "vnf-1") == ["vnf-1"]
+    # Re-revoking is not "newly revoked" — no second fan-out.
+    assert _apply(ks, 4, K_REVOKE, "vnf-1") == []
+    assert ks.is_revoked("vnf-1")
+    assert ks.credential("vnf-1") == b"c1"
+    assert ks.anchor("root") == b"anchor"
+    assert ks.applied_index == 4
+
+
+def test_keystore_rejects_out_of_order_apply():
+    ks = FabricKeystore()
+    with pytest.raises(ReplicationError, match="cannot apply"):
+        _apply(ks, 2, K_REVOKE, "vnf-1")
+    # Redelivery of an already-applied index is silently ignored.
+    _apply(ks, 1, K_ANCHOR, "root", b"a")
+    assert _apply(ks, 1, K_ANCHOR, "root", b"a") == []
+
+
+def test_distrust_host_revokes_homed_credentials_sorted():
+    ks = FabricKeystore()
+    _apply(ks, 1, K_CREDENTIAL, "vnf-b", credential_payload("h1", b"b"))
+    _apply(ks, 2, K_CREDENTIAL, "vnf-a", credential_payload("h1", b"a"))
+    _apply(ks, 3, K_CREDENTIAL, "vnf-c", credential_payload("h2", b"c"))
+    assert _apply(ks, 4, K_DISTRUST, "h1") == ["vnf-a", "vnf-b"]
+    assert ks.is_distrusted("h1")
+    assert not ks.is_revoked("vnf-c")
+    # Late enrollment on a distrusted host is revoked on arrival.
+    assert _apply(ks, 5, K_CREDENTIAL, "vnf-d",
+                  credential_payload("h1", b"d")) == ["vnf-d"]
+
+
+def test_digest_is_state_identical_across_replicas():
+    def build(order_hint):
+        ks = FabricKeystore()
+        _apply(ks, 1, K_ANCHOR, "root", b"anchor")
+        _apply(ks, 2, K_CREDENTIAL, "vnf-1", credential_payload("h1", b"c"))
+        _apply(ks, 3, K_REVOKE, "vnf-1")
+        return ks
+
+    a, b = build(0), build(1)
+    assert a.digest() == b.digest()
+    _apply(b, 4, K_DISTRUST, "h1")
+    assert a.digest() != b.digest()
+    assert b.counts()["distrustedHosts"] == 1
