@@ -1,0 +1,7 @@
+"""Repository-root pytest configuration.
+
+Registers the race-sanitizer plugin (inert unless ``REPRO_SANITIZE=1``
+is set — see ``docs/ANALYSIS.md`` and the ``race-sanitizer`` CI job).
+"""
+
+pytest_plugins = ["repro.analysis.sanitizer_plugin"]

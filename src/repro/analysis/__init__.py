@@ -40,9 +40,31 @@ from repro.analysis.runner import (
     default_checkers,
     run_checkers,
 )
+from repro.analysis.sanitizer import (
+    SANITIZER_RULES,
+    RaceReport,
+    Sanitizer,
+    TrackedLock,
+    TrackedRLock,
+    make_lock,
+    make_rlock,
+    register_shared,
+    sanitize,
+    shared_state,
+)
 from repro.analysis.secret_flow import SecretFlowChecker
 
 __all__ = [
+    "SANITIZER_RULES",
+    "RaceReport",
+    "Sanitizer",
+    "TrackedLock",
+    "TrackedRLock",
+    "make_lock",
+    "make_rlock",
+    "register_shared",
+    "sanitize",
+    "shared_state",
     "AnalysisReport",
     "BaselineEntry",
     "BaselineError",

@@ -48,6 +48,12 @@ def all_rules() -> dict:
     for checker in default_checkers():
         for rule_id, description in checker.rules.items():
             rules[rule_id] = (checker.name, description)
+    # The runtime sanitizer's rules live outside the checker protocol
+    # (they are produced by running code, not by parsing it) but share
+    # the catalogue, the baseline, and --rule filtering.
+    from repro.analysis.sanitizer import SANITIZER_RULES
+    for rule_id, description in SANITIZER_RULES.items():
+        rules[rule_id] = ("sanitizer", description)
     return rules
 
 
@@ -103,7 +109,11 @@ def analyze_tree(
     root = root or package_root()
     baseline_path = baseline_path or (repo_root() / DEFAULT_BASELINE_NAME)
     findings = run_checkers(iter_package_modules(root), rules=rules)
-    entries = load_baseline(baseline_path)
+    # RACE* entries belong to the runtime sanitizer's reports (see
+    # _report_from_sanitizer); a static run can never match them, so
+    # considering them here would mislabel every one as stale.
+    entries = [e for e in load_baseline(baseline_path)
+               if not e.rule_id.startswith("RACE")]
     if rules:
         wanted = set(rules)
         entries = [e for e in entries if e.rule_id in wanted]
@@ -135,6 +145,16 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="print baseline lines for every unbaselined "
                              "finding (paste into the baseline after "
                              "review, adding a justification)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format; 'json' emits one "
+                             "machine-readable object (findings, stale "
+                             "entries, summary) for tooling")
+    parser.add_argument("--sanitizer-report", type=Path, default=None,
+                        metavar="FILE",
+                        help="report RACE* findings from a sanitizer "
+                             "JSON report (written by a REPRO_SANITIZE=1 "
+                             "pytest run) instead of analyzing the tree")
 
 
 def run_lint(args, out) -> int:
@@ -149,9 +169,14 @@ def run_lint(args, out) -> int:
         return 2
 
     try:
-        report = analyze_tree(root=args.root, baseline_path=args.baseline,
-                              rules=args.rule)
-    except (BaselineError, SyntaxError) as exc:
+        if getattr(args, "sanitizer_report", None) is not None:
+            report = _report_from_sanitizer(args)
+        else:
+            report = analyze_tree(root=args.root,
+                                  baseline_path=args.baseline,
+                                  rules=args.rule)
+    except (BaselineError, SyntaxError, OSError, ValueError,
+            KeyError) as exc:
         out.write(f"error: {exc}\n")
         return 2
 
@@ -160,21 +185,85 @@ def run_lint(args, out) -> int:
             out.write(format_entry(finding, "TODO: justify") + "\n")
         return 0 if not report.findings else 1
 
-    for finding in report.findings:
-        out.write(finding.render() + "\n")
-    for entry in report.stale_entries:
-        out.write(f"stale baseline entry (finding fixed? delete the "
-                  f"line): {entry.fingerprint} {entry.rule_id} "
-                  f"{entry.location_hint}\n")
+    if getattr(args, "format", "text") == "json":
+        _write_json_report(report, out)
+    else:
+        for finding in report.findings:
+            out.write(finding.render() + "\n")
+        for entry in report.stale_entries:
+            out.write(f"stale baseline entry (finding fixed? delete the "
+                      f"line): {entry.fingerprint} {entry.rule_id} "
+                      f"{entry.location_hint} -- {entry.justification}\n")
 
-    out.write(
-        f"analysis: {len(report.errors)} error(s), "
-        f"{len(report.warnings)} warning(s), "
-        f"{len(report.suppressed)} baselined, "
-        f"{len(report.stale_entries)} stale baseline entr"
-        f"{'y' if len(report.stale_entries) == 1 else 'ies'}\n"
-    )
+        out.write(
+            f"analysis: {len(report.errors)} error(s), "
+            f"{len(report.warnings)} warning(s), "
+            f"{len(report.suppressed)} baselined, "
+            f"{len(report.stale_entries)} stale baseline entr"
+            f"{'y' if len(report.stale_entries) == 1 else 'ies'}\n"
+        )
 
     if args.strict:
         return 1 if report.findings else 0
     return 1 if report.errors else 0
+
+
+def _report_from_sanitizer(args) -> AnalysisReport:
+    """Baseline-filtered findings from a runtime-sanitizer JSON report.
+
+    Only RACE* baseline entries participate: a sanitizer run covers a
+    different (dynamic) rule family, so the static entries would all
+    look stale here.
+    """
+    from repro.analysis.sanitizer import load_report
+
+    findings = load_report(args.sanitizer_report)
+    if args.rule:
+        wanted = set(args.rule)
+        findings = [f for f in findings if f.rule_id in wanted]
+    baseline_path = args.baseline or (repo_root() / DEFAULT_BASELINE_NAME)
+    entries = [e for e in load_baseline(baseline_path)
+               if e.rule_id.startswith("RACE")]
+    if args.rule:
+        entries = [e for e in entries if e.rule_id in set(args.rule)]
+    fresh, suppressed, stale = apply_baseline(findings, entries)
+    return AnalysisReport(findings=fresh, suppressed=suppressed,
+                          stale_entries=stale)
+
+
+def _write_json_report(report: AnalysisReport, out) -> None:
+    import json
+
+    def encode(finding: Finding) -> dict:
+        return {
+            "fingerprint": finding.fingerprint,
+            "rule_id": finding.rule_id,
+            "severity": finding.severity,
+            "path": finding.location.rsplit(":", 1)[0],
+            "relpath": finding.relpath,
+            "line": finding.line,
+            "col": finding.col,
+            "symbol": finding.symbol,
+            "message": finding.message,
+        }
+
+    json.dump({
+        "findings": [encode(f) for f in report.findings],
+        "suppressed": [encode(f) for f in report.suppressed],
+        "stale_baseline_entries": [
+            {
+                "fingerprint": entry.fingerprint,
+                "rule_id": entry.rule_id,
+                "location": entry.location_hint,
+                "justification": entry.justification,
+            }
+            for entry in report.stale_entries
+        ],
+        "summary": {
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "baselined": len(report.suppressed),
+            "stale": len(report.stale_entries),
+        },
+    }, out, indent=2, sort_keys=True)
+    out.write("\n")

@@ -1,0 +1,79 @@
+"""pytest plugin: run the whole session under the race sanitizer.
+
+Loaded from the repository-root ``conftest.py``; inert unless
+``REPRO_SANITIZE=1`` is set (the ``race-sanitizer`` CI job and the
+nightly soak leg set it).  While armed it
+
+* activates one :class:`~repro.analysis.sanitizer.Sanitizer` for the
+  whole session, so ``make_lock``/``make_rlock`` sites and
+  ``@shared_state`` classes are tracked across every test;
+* at session end writes the machine-readable findings report to
+  ``$REPRO_SANITIZE_REPORT`` (default ``.sanitizer-report.json``) —
+  gated in CI by ``repro lint --sanitizer-report <file>``;
+* prints a summary section in the terminal report, with both access
+  stacks for every detected race.
+
+The plugin never changes the test exit status: a race in code under
+test is the lint gate's verdict to make, not a cryptic test failure.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.analysis.sanitizer import (
+    ENV_SWITCH,
+    REPORT_ENV,
+    Sanitizer,
+)
+
+DEFAULT_REPORT = ".sanitizer-report.json"
+
+
+def _armed() -> bool:
+    return os.environ.get(ENV_SWITCH, "") == "1"
+
+
+def pytest_configure(config) -> None:
+    if not _armed():
+        return
+    sanitizer = Sanitizer()
+    sanitizer.activate()
+    config._repro_sanitizer = sanitizer
+    config._repro_sanitizer_findings = None
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    config = session.config
+    sanitizer: Optional[Sanitizer] = getattr(config, "_repro_sanitizer",
+                                             None)
+    if sanitizer is None:
+        return
+    sanitizer.deactivate()
+    report_path = os.environ.get(REPORT_ENV, DEFAULT_REPORT)
+    config._repro_sanitizer_findings = sanitizer.finalize()
+    sanitizer.write_report(report_path)
+    config._repro_sanitizer_report_path = report_path
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    sanitizer: Optional[Sanitizer] = getattr(config, "_repro_sanitizer",
+                                             None)
+    if sanitizer is None:
+        return
+    findings = config._repro_sanitizer_findings or []
+    errors = [f for f in findings if f.severity == "error"]
+    warnings = [f for f in findings if f.severity == "warning"]
+    write = terminalreporter.write_line
+    terminalreporter.section("race sanitizer")
+    for race in sanitizer.races:
+        for line in race.describe().splitlines():
+            write(line)
+    for finding in findings:
+        write(finding.render())
+    write(f"sanitizer: {len(sanitizer.races)} race(s), "
+          f"{len(errors)} error finding(s), "
+          f"{len(warnings)} warning(s); report written to "
+          f"{getattr(config, '_repro_sanitizer_report_path', '?')} "
+          f"(gate with: repro lint --sanitizer-report <file>)")

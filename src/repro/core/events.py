@@ -8,9 +8,10 @@ credentials.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
+
+from repro.analysis.sanitizer import make_lock
 
 EVENT_HOST_ATTESTED = "host-attested"
 EVENT_HOST_REJECTED = "host-rejected"
@@ -52,7 +53,7 @@ class AuditLog:
     def __init__(self, now: Callable[[], float] = lambda: 0.0) -> None:
         self._now = now
         self._events: List[AuditEvent] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("audit")
         self.observer: Optional[Callable[[AuditEvent], None]] = None
 
     def record(self, kind: str, subject: str, details: str = "") -> AuditEvent:

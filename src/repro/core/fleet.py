@@ -44,6 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.sanitizer import make_lock, make_rlock
 from repro.core.enrollment import (
     STATE_FAILED,
     STATE_HOST_ATTESTED,
@@ -99,13 +100,13 @@ class PooledIasClient(IasClient):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._pooled_conn = None
-        self._pool_lock = threading.RLock()
+        self._pool_lock = make_rlock("ias_pool")
         #: Exchanges served over a reused connection (telemetry for E12).
         self.reused_exchanges = 0
         #: Connections (re-)established, including the first.
         self.connects = 0
         # Time-window batcher (off by default; enable_batching() arms it).
-        self._batch_lock = threading.Lock()
+        self._batch_lock = make_lock("ias_batch")
         self._batch: Optional[_IasBatch] = None
         self._batch_window = 0.0
         self._batch_max = 1
@@ -356,7 +357,7 @@ class FleetScheduler:
         self.ias_batch_window = ias_batch_window
         self._host_locks: Dict[str, threading.Lock] = {}
         self._host_errors: Dict[str, Optional[str]] = {}
-        self._keystore_lock = threading.Lock()
+        self._keystore_lock = make_lock("keystore")
 
     # ------------------------------------------------------------ internals
 
@@ -482,7 +483,7 @@ class FleetScheduler:
         report = FleetReport(workers=self.workers)
         self.deployment_report = report
         self._host_locks = {
-            dep.vnf_host[name].name: threading.Lock() for name in names
+            dep.vnf_host[name].name: make_lock("host") for name in names
         }
         self._host_errors = {}
 

@@ -13,9 +13,9 @@ themselves established via attestation.)
 from __future__ import annotations
 
 import contextlib
-import threading
 from typing import Dict
 
+from repro.analysis.sanitizer import make_rlock
 from repro.core.attestation_enclave import AttestationEnclave, QuotedEvidence
 from repro.core.credential_enclave import CredentialEnclave
 from repro.core.provisioning import ProvisioningMessage
@@ -133,7 +133,7 @@ class HostAgentClient(RetryingMixin):
         self._address = address
         self._source_host = source_host
         self._channel = None
-        self._exchange_lock = threading.RLock()
+        self._exchange_lock = make_rlock("agent")
 
     @property
     def address(self) -> Address:

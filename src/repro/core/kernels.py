@@ -38,12 +38,12 @@ from __future__ import annotations
 
 import os
 import pickle
-import threading
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.sanitizer import make_lock
 from repro.crypto.keys import EcPrivateKey
 from repro.errors import QuoteError, ReproError
 from repro.ias.report import sign_report
@@ -308,7 +308,7 @@ class KernelPool:
     def __init__(self, workers: int = 0, label: str = "kernels") -> None:
         self.label = label
         self.workers = max(0, int(workers))
-        self._lock = threading.Lock()
+        self._lock = make_lock("kernel_pool")
         self._executor: Optional[ProcessPoolExecutor] = None
         self._owner_pid = os.getpid()
         self._broken = False
@@ -338,7 +338,7 @@ class KernelPool:
         # Runs in the child immediately after fork: replace the lock (the
         # parent copy may be held by a thread that does not exist here)
         # and drop the inherited executor without touching it.
-        self._lock = threading.Lock()
+        self._lock = make_lock("kernel_pool")
         self._executor = None
         self._owner_pid = os.getpid()
 

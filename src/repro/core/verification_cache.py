@@ -35,6 +35,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.analysis.sanitizer import make_rlock, shared_state
 from repro.crypto.sha256 import sha256
 from repro.ias.report import AttestationVerificationReport
 
@@ -65,6 +66,7 @@ def evidence_key(quote_bytes: bytes, nonce: str) -> bytes:
     return sha256(prefix + quote_bytes + nonce.encode("utf-8"))
 
 
+@shared_state("_entries")
 class VerificationCache:
     """Bounded LRU of successful IAS verdicts, keyed by evidence digest."""
 
@@ -77,7 +79,7 @@ class VerificationCache:
         self.max_age = max_age
         self._now = now
         self._entries: "OrderedDict[bytes, CachedVerdict]" = OrderedDict()
-        self._lock = threading.RLock()
+        self._lock = make_rlock("cache")
         self.hits = 0
         self.misses = 0
 

@@ -19,10 +19,10 @@ Responsibilities implemented here, keyed to Figure 1:
 
 from __future__ import annotations
 
-import threading
 from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.sanitizer import make_rlock
 from repro.core import events as ev
 from repro.core.appraisal import AppraisalEngine, AppraisalResult, ExpectedValues
 from repro.core.attestation_enclave import attestation_report_data
@@ -101,7 +101,7 @@ class VerificationManager:
         #: Guards the trust-state maps below plus the revocation paths.
         #: Lock ordering: the VM lock may be taken *before* the CA lock
         #: and the cache locks, never after (``docs/CONCURRENCY.md``).
-        self._lock = threading.RLock()
+        self._lock = make_rlock("vm")
         #: Per-VNF credential key derivation.  Each VNF's key pair (and
         #: bundle-encryption randomness) comes from a dedicated DRBG
         #: seeded from one root draw, so the credentials a VNF receives

@@ -36,10 +36,10 @@ tables proving the speedups.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import List, NamedTuple, Optional, Tuple
 
+from repro.analysis.sanitizer import make_lock, make_rlock
 from repro.errors import InvalidPoint
 
 #: Window width (bits) of the fixed-base comb used by multiply_generator.
@@ -105,7 +105,7 @@ class EcEngineStats:
     __slots__ = _COUNTERS + ("_lock",)
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("ec_stats")
         self.reset()
 
     def bump(self, name: str, amount: int = 1) -> None:
@@ -164,8 +164,13 @@ class _Curve:
         self.stats = EcEngineStats()
         # Guards the validated-point LRU, the per-point table LRU and the
         # lazy one-shot table builds below.  RLock because validation may
-        # nest inside a locked table build on cofactor>1 curves.
-        self._lock = threading.RLock()
+        # nest inside a locked table build on cofactor>1 curves.  Leaf
+        # domain of its own ("ec_curves", not the core "cache" chain):
+        # point validation runs under TLS handshakes that the fleet
+        # drives while holding per-host leaf locks, and a chain-ranked
+        # domain there would (and, before the runtime sanitizer, did)
+        # read as a leaf-lock order violation.
+        self._lock = make_rlock("ec_curves")
         # Lazily built fast-path tables (once per curve, never mutated).
         self._fixed_base: Optional[List[List[Point]]] = None
         self._generator_odd: Optional[Tuple[List[Point], List[Point]]] = None

@@ -10,8 +10,8 @@ on.
 from __future__ import annotations
 
 import os
-import threading
 
+from repro.analysis.sanitizer import make_lock
 from repro.crypto.hmac import hmac_sha256
 from repro.errors import EntropyError
 
@@ -32,7 +32,7 @@ class HmacDrbg:
         self._key = b"\x00" * 32
         self._value = b"\x01" * 32
         self._reseed_counter = 1
-        self._lock = threading.Lock()
+        self._lock = make_lock("rng")
         self._update(seed + personalization)
 
     def _update(self, provided: bytes) -> None:
@@ -83,7 +83,7 @@ class HmacDrbg:
 
 
 _default_rng = None
-_default_lock = threading.Lock()
+_default_lock = make_lock("rng")
 
 
 def default_rng() -> HmacDrbg:

@@ -22,9 +22,9 @@ enrollment transcripts of E11/E12 untouched.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List, Optional
 
+from repro.analysis.sanitizer import make_lock
 from repro.core.events import AuditEvent, AuditLog
 from repro.crypto.keys import generate_keypair
 from repro.crypto.rng import HmacDrbg
@@ -72,7 +72,7 @@ class KeyManagerService:
         # One audit trail per tenant; the dict itself is guarded by a
         # plain lock (trail creation only — AuditLog has its own lock).
         self._trails: Dict[str, AuditLog] = {}
-        self._trails_lock = threading.Lock()
+        self._trails_lock = make_lock("kms_ns")
         self.kernel_pool = None
         if seal_workers > 0:
             # Runtime import — repro.core's __init__ imports modules

@@ -25,15 +25,16 @@ calls out to another locked component while holding it.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.sanitizer import make_lock, shared_state
 from repro.crypto.rng import HmacDrbg
 from repro.errors import SecretNotFound
 from repro.sgx.enclave import EnclaveIdentity
 from repro.sgx.sealing import POLICY_MRENCLAVE, SealedBlob, seal, unseal
 
 
+@shared_state("_blobs", "_busy_until")
 class SecretShard:
     """Sealed storage for one slice of the KMS keyspace.
 
@@ -52,7 +53,7 @@ class SecretShard:
         self._rng = rng
         self._blobs: Dict[str, SealedBlob] = {}
         self._busy_until = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("kms_shard")
         # Optional seal-work offload (duck-typed KernelPool; None = the
         # AEAD runs inline under the shard lock, as before).
         self._kernel_pool = None

@@ -24,10 +24,10 @@ locked is called while holding it.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.sanitizer import make_lock, shared_state
 from repro.crypto.constant_time import ct_bytes_eq
 from repro.crypto.hmac import hmac_sha256
 from repro.crypto.rng import HmacDrbg
@@ -80,6 +80,7 @@ class _Namespace:
         self.generator = generator
 
 
+@shared_state("_namespaces")
 class TenantRegistry:
     """Namespace catalogue + quota accounting + token authorization.
 
@@ -96,7 +97,7 @@ class TenantRegistry:
         self._token_key = rng.random_bytes(32)
         self._generator_root = rng.random_bytes(32)
         self._namespaces: Dict[str, _Namespace] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("kms_ns")
 
     # ---------------------------------------------------------- namespaces
 

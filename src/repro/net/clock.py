@@ -26,7 +26,10 @@ from __future__ import annotations
 import threading
 from typing import Dict
 
+from repro.analysis.sanitizer import make_lock, shared_state
 
+
+@shared_state("_now", "_charges")
 class VirtualClock:
     """A monotonically advancing simulated clock (thread-safe).
 
@@ -37,7 +40,7 @@ class VirtualClock:
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._charges: Dict[str, float] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("clock")
         self._local = threading.local()
 
     def now(self) -> float:

@@ -21,10 +21,10 @@ see ``docs/CONCURRENCY.md`` for the ownership rules.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
+from repro.analysis.sanitizer import make_rlock
 from repro.errors import AddressError, ConnectionRefused
 from repro.net.address import Address
 from repro.net.channel import Channel
@@ -79,7 +79,7 @@ class Network:
         self._message_count = 0
         self._messages_by_host: Dict[str, int] = {}
         self._faults: Optional["FaultPlan"] = None
-        self._lock = threading.RLock()
+        self._lock = make_rlock("simnet")
 
     # --------------------------------------------------------------- faults
 

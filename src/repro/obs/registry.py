@@ -25,9 +25,9 @@ from __future__ import annotations
 
 import math
 import re
-import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.sanitizer import make_lock, make_rlock
 from repro.errors import ObservabilityError
 
 TYPE_COUNTER = "counter"
@@ -74,7 +74,7 @@ class MetricFamily:
         self.help = help
         self.labelnames = _validate_labelnames(labelnames)
         self._children: Dict[Tuple[str, ...], object] = {}
-        self._family_lock = threading.RLock()
+        self._family_lock = make_rlock("family")
 
     # ----------------------------------------------------------- children
 
@@ -130,7 +130,7 @@ class CounterChild:
 
     def __init__(self) -> None:
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("child")
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative)."""
@@ -178,7 +178,7 @@ class GaugeChild:
 
     def __init__(self) -> None:
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("child")
 
     def set(self, value: float) -> None:
         """Set the gauge."""
@@ -248,7 +248,7 @@ class HistogramChild:
         self._sum = 0.0
         self._samples: List[float] = []
         self._sorted = True
-        self._lock = threading.RLock()
+        self._lock = make_rlock("child")
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -365,7 +365,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: Dict[str, MetricFamily] = {}
-        self._lock = threading.RLock()
+        self._lock = make_rlock("registry")
 
     # ---------------------------------------------------------- factories
 

@@ -24,6 +24,7 @@ import json
 import threading
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.analysis.sanitizer import make_rlock
 from repro.errors import ObservabilityError
 
 
@@ -134,7 +135,7 @@ class Tracer:
     def __init__(self, now: Callable[[], float] = lambda: 0.0) -> None:
         self._now = now
         self._tls = threading.local()   # per-thread open-span stack
-        self._lock = threading.RLock()  # guards roots + counters
+        self._lock = make_rlock("tracer")  # guards roots + counters
         self._roots: List[Span] = []
         self._span_counter = 0
         self._trace_counter = 0

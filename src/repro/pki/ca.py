@@ -17,10 +17,10 @@ order.  See ``docs/CONCURRENCY.md``.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.sanitizer import make_rlock, shared_state
 from repro.crypto.keys import EcPrivateKey, generate_keypair
 from repro.crypto.rng import HmacDrbg
 from repro.errors import CertificateError, RevocationError
@@ -43,6 +43,7 @@ from repro.pki.name import DistinguishedName
 DEFAULT_VALIDITY = 365 * 24 * 3600  # one simulated year
 
 
+@shared_state("_next_serial", "_issued", "_revoked", "_crl_cache")
 class CertificateAuthority:
     """A self-signed root CA that issues and revokes end-entity certificates.
 
@@ -59,7 +60,7 @@ class CertificateAuthority:
         self.name = name
         self._key: EcPrivateKey = generate_keypair(rng)
         self._next_serial = 1
-        self._lock = threading.RLock()
+        self._lock = make_rlock("ca")
         self._issued: Dict[int, Certificate] = {}
         self._revoked: List[RevokedEntry] = []
         # (now, update_interval, revocation count) -> signed CRL.  One

@@ -18,9 +18,9 @@ call into the CA without inverting the lock order.
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Dict, List, Tuple
 
+from repro.analysis.sanitizer import make_lock
 from repro.crypto.keys import EcPrivateKey
 from repro.errors import KeystoreError
 from repro.pki.certificate import Certificate
@@ -40,7 +40,7 @@ class Keystore:
     def __init__(self) -> None:
         self._trusted: Dict[str, Certificate] = {}
         self._key_entries: Dict[str, Tuple[EcPrivateKey, Certificate]] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("keystore_entries")
 
     # ----------------------------------------------------- trusted entries
 

@@ -31,10 +31,10 @@ E15).  All simulated costs are charged to dedicated clock accounts
 from __future__ import annotations
 
 import json
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.sanitizer import make_lock
 from repro.errors import (
     ChannelClosed,
     ConnectionRefused,
@@ -135,7 +135,7 @@ class ControllerReplica:
         self._peers: List[Tuple[int, Address]] = []
         self._suspected: Set[int] = set()
         self._busy_until = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("fabric")
         network.listen(self.address, self._accept)
 
     # ------------------------------------------------------------- timeline
@@ -313,7 +313,7 @@ class TrustedFabric:
         self._crashed: Set[int] = set()
         self._leader_rank = 0
         self._endpoint_counter = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("fabric")
 
         for rank in range(replica_count):
             controller = primary_controller if rank == 0 else None

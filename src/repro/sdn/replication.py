@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+from repro.analysis.sanitizer import make_lock, shared_state
 from repro.errors import ReplicationError
 
 #: Entry kinds — the complete vocabulary of replicated operations.
@@ -98,12 +98,13 @@ def split_credential_payload(payload: bytes) -> "tuple[str, bytes]":
     return host.decode("utf-8"), certificate
 
 
+@shared_state("_entries")
 class ReplicationLog:
     """Append-only, contiguously indexed operation log (one per replica)."""
 
     def __init__(self) -> None:
         self._entries: List[LogEntry] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("fabric_log")
 
     def append(self, kind: str, subject: str,
                payload: bytes = b"") -> LogEntry:
@@ -158,6 +159,8 @@ class ReplicationLog:
             return self._entries[index - 1]
 
 
+@shared_state("_anchors", "_credentials", "_credential_hosts",
+              "_revoked", "_distrusted_hosts", "_applied_index")
 class FabricKeystore:
     """The replicated trust state one replica derives from its log.
 
@@ -175,7 +178,7 @@ class FabricKeystore:
         self._revoked: Set[str] = set()
         self._distrusted_hosts: Set[str] = set()
         self._applied_index = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("fabric_keystore")
 
     # -------------------------------------------------------------- applying
 

@@ -32,10 +32,10 @@ identity checks, or session-cache sweeps.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import replace
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.analysis.sanitizer import make_lock
 from repro.crypto.keys import EcPrivateKey
 from repro.crypto.sha256 import sha256
 from repro.errors import (
@@ -153,7 +153,7 @@ class RatlsVerifier:
         self._check_identity = check_identity
         self._now = now
         self._telemetry = telemetry
-        self._lock = threading.Lock()
+        self._lock = make_lock("ratls")
         self._denied_subjects: set = set()
         self._denied_hosts: set = set()
         self._subject_hosts: Dict[str, Tuple[str, ...]] = {}

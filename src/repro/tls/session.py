@@ -6,6 +6,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.sanitizer import make_rlock, shared_state
 from repro.crypto.keys import EcPrivateKey
 from repro.crypto.rng import HmacDrbg, default_rng
 from repro.errors import TlsError
@@ -27,6 +28,7 @@ class TlsSession:
     peer_certificate: Optional[Certificate] = None
 
 
+@shared_state("_sessions")
 class SessionCache:
     """Bounded FIFO cache of resumable sessions, keyed by session id.
 
@@ -41,7 +43,7 @@ class SessionCache:
             raise TlsError("session cache capacity must be positive")
         self._capacity = capacity
         self._sessions: Dict[bytes, TlsSession] = {}
-        self._lock = threading.RLock()
+        self._lock = make_rlock("cache")
 
     def store(self, session: TlsSession) -> None:
         """Insert a session, evicting the FIFO-oldest entry when full.

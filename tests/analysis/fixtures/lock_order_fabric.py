@@ -1,0 +1,55 @@
+"""Seeded fabric lock findings.
+
+Three classes, one per fabric lock domain.  ``Replica`` is analyzed
+under ``sdn/fabric.py`` (the module-keyed ``fabric`` row);
+``ReplicationLog`` and ``FabricKeystore`` carry the live class names so
+the class-keyed rows for ``sdn/replication.py`` resolve (``fabric_log``
+and ``fabric_keystore``).  Each class seeds the same two mistakes the
+KMS fixture seeds — a chain call under the leaf and a sibling-instance
+double acquire — plus a silent, correctly-locked twin method.
+"""
+
+
+class Replica:
+    def leak_into_chain(self, event):
+        with self._lock:                     # acquires the fabric leaf
+            self.vm.on_fabric_event(event)   # LOCK002: leaf holds chain
+
+    def double_acquire(self, peer, entry):
+        with self._lock:                     # acquires the leaf...
+            with peer._lock:                 # LOCK005: ...then a sibling's
+                peer.accept(entry)
+
+    def local_only(self, rank):
+        with self._lock:
+            self._suspected.add(rank)        # ok: no other lock touched
+
+
+class ReplicationLog:
+    def leak_into_chain(self, entry):
+        with self._lock:
+            self.vm.on_replicated(entry)     # LOCK002 under fabric_log
+
+    def double_acquire(self, peer, entry):
+        with self._lock:
+            with peer._lock:                 # LOCK005 on fabric_log
+                peer.accept(entry)
+
+    def local_only(self, entry):
+        with self._lock:
+            self._entries.append(entry)      # ok
+
+
+class FabricKeystore:
+    def leak_into_chain(self, subject):
+        with self._lock:
+            self.vm.revoke_vnf(subject)      # LOCK002 under fabric_keystore
+
+    def double_acquire(self, peer, subject):
+        with self._lock:
+            with peer._lock:                 # LOCK005 on fabric_keystore
+                peer.revoke(subject)
+
+    def local_only(self, subject):
+        with self._lock:
+            self._revoked.add(subject)       # ok

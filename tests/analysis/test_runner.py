@@ -63,10 +63,10 @@ class TestCli:
 
 
 class TestRuleCatalogue:
-    def test_all_four_checkers_contribute(self):
+    def test_all_rule_families_contribute(self):
         checkers = {checker for checker, _ in all_rules().values()}
         assert checkers == {"secret-flow", "lock-order",
-                            "constant-time", "hygiene"}
+                            "constant-time", "hygiene", "sanitizer"}
 
     def test_rule_ids_are_unique_across_checkers(self):
         # all_rules() would silently collapse duplicates; build the union

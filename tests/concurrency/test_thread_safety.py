@@ -118,7 +118,11 @@ def test_verification_cache_concurrent_accounting():
             quote = b"quote-%d-%d" % (index, i % 100)
             cache.lookup(quote, "nonce")
             cache.store(quote, "nonce", f"subject-{index}", avr)
-            assert cache.lookup(quote, "nonce") is avr
+            # Concurrent stores may LRU-evict the entry before the
+            # readback (capacity 64 < live keyspace) — the cache promises
+            # "the stored verdict or a miss", never a foreign object.
+            got = cache.lookup(quote, "nonce")
+            assert got is avr or got is None
 
     _hammer(worker)
     assert len(cache) <= 64
